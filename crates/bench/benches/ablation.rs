@@ -1,0 +1,56 @@
+//! Criterion benches for the design-choice ablations DESIGN.md calls out
+//! that are *cost*-shaped: one-slice vs all-slice CHA sampling, and layout
+//! planning cost vs tenant count. (Quality-shaped ablations — shuffle
+//! policy, thresholds — live in `src/bin/ablation.rs`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iat::{LayoutPlanner, Priority};
+use iat_cachesim::{AgentId, CacheGeometry, Llc, WayMask};
+use iat_perf::{CounterBank, DdioSampleMode, Monitor, MonitorSpec, TenantSpec};
+use iat_rdt::ClosId;
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cha_sampling");
+    let mut llc = Llc::new(CacheGeometry::xeon_6140_llc());
+    let ddio = WayMask::contiguous(9, 2).expect("mask");
+    for i in 0..100_000u64 {
+        llc.io_write(ddio, i * 64);
+    }
+    let bank = CounterBank::new(8);
+    let spec = MonitorSpec {
+        tenants: (0..4u16)
+            .map(|i| TenantSpec { agent: AgentId::new(i), cores: vec![i as usize] })
+            .collect(),
+    };
+    for (name, mode) in
+        [("one_slice", DdioSampleMode::OneSlice(0)), ("all_slices", DdioSampleMode::AllSlices)]
+    {
+        let monitor = Monitor::new(spec.clone(), mode);
+        group.bench_function(name, |b| b.iter(|| black_box(monitor.poll(&llc, &bank))));
+    }
+    group.finish();
+}
+
+fn bench_layout_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_plan");
+    for &n in &[2usize, 5, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let planner = LayoutPlanner::new(11);
+            let inputs: Vec<iat::layout::PlanInput> = (0..n)
+                .map(|i| iat::layout::PlanInput {
+                    agent: AgentId::new(i as u16),
+                    clos: ClosId::new((i + 1) as u8),
+                    priority: if i % 2 == 0 { Priority::Pc } else { Priority::Be },
+                    ways: 1,
+                    llc_refs: (i * 1000) as u64,
+                })
+                .collect();
+            b.iter(|| black_box(planner.plan(&inputs, 2, true, false)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_layout_planning);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches of the simulation substrate itself: how fast the
+//! cache model and the DMA path execute. These bound how much modelled
+//! time the experiment binaries can cover per wall-clock second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iat_cachesim::{AgentId, CacheGeometry, CoreOp, Llc, MemoryHierarchy, WayMask};
+use iat_netsim::{FlowId, PacketSlot, RxRing};
+use std::hint::black_box;
+
+fn bench_llc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llc");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("core_access_hit", |b| {
+        let mut llc = Llc::new(CacheGeometry::xeon_6140_llc());
+        let agent = AgentId::new(0);
+        let mask = WayMask::all(11);
+        llc.core_access(agent, mask, 0x1000, CoreOp::Read);
+        b.iter(|| black_box(llc.core_access(agent, mask, 0x1000, CoreOp::Read)));
+    });
+
+    group.bench_function("core_access_streaming_miss", |b| {
+        let mut llc = Llc::new(CacheGeometry::xeon_6140_llc());
+        let agent = AgentId::new(0);
+        let mask = WayMask::contiguous(0, 2).expect("mask");
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64 * 1024; // conflict-heavy stride
+            black_box(llc.core_access(agent, mask, addr, CoreOp::Read))
+        });
+    });
+
+    group.bench_function("io_write_update", |b| {
+        let mut llc = Llc::new(CacheGeometry::xeon_6140_llc());
+        let ddio = WayMask::contiguous(9, 2).expect("mask");
+        llc.io_write(ddio, 0x2000);
+        b.iter(|| black_box(llc.io_write(ddio, 0x2000)));
+    });
+
+    group.bench_function("hierarchy_l2_hit", |b| {
+        let mut h = MemoryHierarchy::xeon_6140(1);
+        let agent = AgentId::new(0);
+        let mask = WayMask::all(11);
+        h.core_access(0, agent, mask, 0x3000, CoreOp::Read);
+        b.iter(|| black_box(h.core_access(0, agent, mask, 0x3000, CoreOp::Read)));
+    });
+    group.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop", |b| {
+        let mut ring = RxRing::with_pool(0, 1024, 2048, 4096);
+        b.iter(|| {
+            ring.push(PacketSlot::new(FlowId(1), 64));
+            black_box(ring.pop())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_llc, bench_ring);
+criterion_main!(benches);

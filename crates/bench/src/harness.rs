@@ -1,0 +1,87 @@
+//! The managed run: platform + policy + monitor, stepped in policy
+//! intervals.
+
+use iat::{LlcPolicy, StepReport, TenantInfo};
+use iat_perf::{DdioSampleMode, IntervalDeltas, Monitor, Poll};
+use iat_platform::Platform;
+
+/// A platform under management by an LLC policy.
+///
+/// Each [`Managed::step_interval`] runs the platform for one policy
+/// interval (the paper's 1 s sleep), polls the performance counters the
+/// way the daemon would, and hands the poll to the policy.
+pub struct Managed {
+    /// The simulated server.
+    pub platform: Platform,
+    /// The management policy (IAT or a baseline).
+    pub policy: Box<dyn LlcPolicy>,
+    monitor: Monitor,
+    epochs_per_interval: usize,
+    last_poll: Option<Poll>,
+    last_report: Option<StepReport>,
+}
+
+impl Managed {
+    /// Couples `platform` and `policy`; `tenants` is the policy-facing
+    /// tenant description (order must match the platform's registration
+    /// order) and `interval_ns` the policy interval.
+    pub fn new(
+        mut platform: Platform,
+        mut policy: Box<dyn LlcPolicy>,
+        tenants: Vec<TenantInfo>,
+        interval_ns: u64,
+    ) -> Self {
+        let spec = platform.monitor_spec();
+        let monitor = Monitor::new(spec, DdioSampleMode::OneSlice(0));
+        policy.set_tenants(tenants, platform.rdt_mut());
+        let epochs_per_interval = (interval_ns / platform.config().epoch_ns).max(1) as usize;
+        Managed { platform, policy, monitor, epochs_per_interval, last_poll: None, last_report: None }
+    }
+
+    /// Epochs executed per policy interval.
+    pub fn epochs_per_interval(&self) -> usize {
+        self.epochs_per_interval
+    }
+
+    /// The last policy step report, if any interval has run.
+    pub fn last_report(&self) -> Option<&StepReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Runs one policy interval: platform epochs, then a poll, then the
+    /// policy step. Returns the policy's report.
+    pub fn step_interval(&mut self) -> StepReport {
+        self.platform.run_epochs(self.epochs_per_interval);
+        let poll = self.monitor.poll(self.platform.llc(), self.platform.bank());
+        self.last_poll = Some(poll.clone());
+        let report = self.policy.step(self.platform.rdt_mut(), poll);
+        self.last_report = Some(report);
+        report
+    }
+
+    /// Runs `n` intervals.
+    pub fn run_intervals(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step_interval();
+        }
+    }
+
+    /// Takes a fresh cumulative poll without advancing the platform or the
+    /// policy (an independent measurement process, like the paper's
+    /// side-band pqos monitor in Fig. 11).
+    pub fn observe(&self) -> Poll {
+        self.monitor.poll(self.platform.llc(), self.platform.bank())
+    }
+
+    /// Deltas between two cumulative observations.
+    pub fn deltas_between(before: &Poll, after: &Poll) -> IntervalDeltas {
+        let mut w = iat_perf::DeltaWindow::new();
+        w.advance(before.clone());
+        w.advance(after.clone()).expect("same tenant set")
+    }
+
+    /// Modelled time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.platform.time_s()
+    }
+}

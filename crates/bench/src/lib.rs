@@ -1,0 +1,23 @@
+//! # iat-bench
+//!
+//! The experiment harness of the IAT reproduction: couples a simulated
+//! [`iat_platform::Platform`] with an [`iat::LlcPolicy`] (IAT or a
+//! baseline) through the performance-counter monitor, and provides the
+//! scenario builders and reporting helpers the per-figure binaries share.
+//!
+//! One binary per paper table/figure lives in `src/bin/` (`fig03` …
+//! `fig15`, `table1`, `table2`); Criterion benches live in `benches/`.
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p iat-bench --bin fig08
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+pub mod scenarios;
+
+pub use harness::Managed;

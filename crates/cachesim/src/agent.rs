@@ -1,0 +1,80 @@
+//! Identity of the entity performing a cache access.
+
+use std::fmt;
+
+/// Identifies the agent (tenant, software stack, or I/O device) on whose
+/// behalf a cache access is performed.
+///
+/// The LLC model records per-agent reference and miss counts keyed by this
+/// id, mirroring how Intel CMT attributes LLC occupancy and misses to an
+/// RMID. The id `AgentId::IO` is reserved for DDIO traffic so that device
+/// activity is never confused with core activity.
+///
+/// ```
+/// use iat_cachesim::AgentId;
+/// let a = AgentId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert!(!a.is_io());
+/// assert!(AgentId::IO.is_io());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgentId(u16);
+
+impl AgentId {
+    /// The reserved agent id for DDIO / device traffic.
+    pub const IO: AgentId = AgentId(u16::MAX);
+
+    /// Creates a new agent id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` equals the reserved I/O id (`u16::MAX`).
+    pub fn new(id: u16) -> Self {
+        assert_ne!(id, u16::MAX, "AgentId::new: u16::MAX is reserved for I/O");
+        AgentId(id)
+    }
+
+    /// The raw index of this agent.
+    pub fn index(self) -> u16 {
+        self.0
+    }
+
+    /// Returns `true` if this is the reserved DDIO / device agent.
+    pub fn is_io(self) -> bool {
+        self == Self::IO
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_io() {
+            write!(f, "agent(io)")
+        } else {
+            write!(f, "agent({})", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_agent_is_distinct() {
+        assert!(AgentId::IO.is_io());
+        assert!(!AgentId::new(0).is_io());
+        assert_ne!(AgentId::new(0), AgentId::IO);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_id_rejected() {
+        let _ = AgentId::new(u16::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AgentId::new(7).to_string(), "agent(7)");
+        assert_eq!(AgentId::IO.to_string(), "agent(io)");
+    }
+}

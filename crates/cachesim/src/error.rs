@@ -1,0 +1,57 @@
+//! Error type for cache-model construction and configuration.
+
+use std::fmt;
+
+/// Convenient alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced when constructing or configuring the cache model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A way mask was empty, exceeded the cache associativity, or was
+    /// required to be contiguous and was not.
+    InvalidWayMask {
+        /// Raw bits of the offending mask.
+        bits: u32,
+        /// Associativity of the cache the mask was validated against.
+        ways: u8,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A geometry parameter was zero or not a power of two where required.
+    InvalidGeometry {
+        /// Name of the offending parameter.
+        field: &'static str,
+        /// Provided value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidWayMask { bits, ways, reason } => {
+                write!(f, "invalid way mask {bits:#x} for {ways}-way cache: {reason}")
+            }
+            Error::InvalidGeometry { field, value } => {
+                write!(f, "invalid cache geometry: {field} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = Error::InvalidGeometry { field: "sets", value: 0 };
+        let s = e.to_string();
+        assert!(s.starts_with("invalid"));
+        assert!(!s.ends_with('.'));
+    }
+}

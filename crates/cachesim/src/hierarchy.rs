@@ -1,0 +1,261 @@
+//! The full memory hierarchy: per-core L2s in front of the shared LLC.
+
+use crate::agent::AgentId;
+use crate::geometry::CacheGeometry;
+use crate::l2::L2Cache;
+use crate::latency::{AccessLevel, LatencyModel};
+use crate::llc::{CoreOp, Llc};
+use crate::mask::WayMask;
+use crate::memory::MemCounters;
+use crate::stats::IoOutcome;
+
+/// Per-core state: the private L2.
+///
+/// Exposed read-only through [`MemoryHierarchy::core`] so experiments can
+/// inspect L2 hit/miss counts.
+#[derive(Debug, Clone)]
+pub struct CoreCache {
+    l2: L2Cache,
+}
+
+impl CoreCache {
+    /// The core's private L2.
+    pub fn l2(&self) -> &L2Cache {
+        &self.l2
+    }
+}
+
+/// A socket's memory hierarchy: `n` cores with private L2s sharing one
+/// sliced LLC with DDIO.
+///
+/// All core traffic flows L2 → LLC → memory; DDIO traffic flows directly
+/// into the LLC (devices bypass private caches). On a DDIO write the
+/// hierarchy invalidates any stale private copy, as the coherence protocol
+/// would.
+///
+/// # Example
+///
+/// ```
+/// use iat_cachesim::{AccessLevel, AgentId, CacheGeometry, CoreOp,
+///                    LatencyModel, MemoryHierarchy, WayMask};
+/// let mut h = MemoryHierarchy::xeon_6140(4);
+/// let t = AgentId::new(0);
+/// let mask = WayMask::contiguous(0, 2).unwrap();
+/// let lvl = h.core_access(0, t, mask, 0x1000, CoreOp::Read);
+/// assert_eq!(lvl, AccessLevel::Memory);          // cold miss
+/// let lvl = h.core_access(0, t, mask, 0x1000, CoreOp::Read);
+/// assert_eq!(lvl, AccessLevel::L2);              // now in L2
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    llc: Llc,
+    cores: Vec<CoreCache>,
+    latency: LatencyModel,
+}
+
+impl MemoryHierarchy {
+    /// Builds a hierarchy with explicit geometries.
+    pub fn new(
+        llc_geom: CacheGeometry,
+        l2_geom: CacheGeometry,
+        core_count: usize,
+        latency: LatencyModel,
+    ) -> Self {
+        let cores = (0..core_count).map(|_| CoreCache { l2: L2Cache::new(l2_geom) }).collect();
+        MemoryHierarchy { llc: Llc::new(llc_geom), cores, latency }
+    }
+
+    /// The paper's Xeon Gold 6140 hierarchy (Table I) with `core_count`
+    /// cores and default latencies.
+    pub fn xeon_6140(core_count: usize) -> Self {
+        Self::new(
+            CacheGeometry::xeon_6140_llc(),
+            CacheGeometry::xeon_6140_l2(),
+            core_count,
+            LatencyModel::default(),
+        )
+    }
+
+    /// A small hierarchy for tests: tiny LLC, tiny L2s.
+    pub fn tiny(core_count: usize) -> Self {
+        Self::new(
+            CacheGeometry::tiny(),
+            CacheGeometry::new(2, 8, 1).expect("valid geometry"),
+            core_count,
+            LatencyModel::default(),
+        )
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Read-only view of one core's private caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core(&self, core: usize) -> &CoreCache {
+        &self.cores[core]
+    }
+
+    /// The shared LLC.
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// Mutable access to the shared LLC (for direct substrate tests).
+    pub fn llc_mut(&mut self) -> &mut Llc {
+        &mut self.llc
+    }
+
+    /// Memory traffic counters (fills + writebacks + uncached I/O reads).
+    pub fn mem(&self) -> &MemCounters {
+        self.llc.mem()
+    }
+
+    /// The latency model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Performs a core access through the full hierarchy and reports the
+    /// level that served it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range; panics in debug builds if
+    /// `alloc_mask` is empty.
+    pub fn core_access(
+        &mut self,
+        core: usize,
+        agent: AgentId,
+        alloc_mask: WayMask,
+        addr: u64,
+        op: CoreOp,
+    ) -> AccessLevel {
+        let l2 = &mut self.cores[core].l2;
+        let out = l2.access(addr, op == CoreOp::Write);
+        if out.hit {
+            return AccessLevel::L2;
+        }
+        if let Some(victim) = out.dirty_victim {
+            self.llc.core_writeback(agent, alloc_mask, victim);
+        }
+        match self.llc.core_access(agent, alloc_mask, addr, op) {
+            crate::stats::AccessOutcome::Hit => AccessLevel::Llc,
+            crate::stats::AccessOutcome::Miss { .. } => AccessLevel::Memory,
+        }
+    }
+
+    /// Cycle cost of a core access (convenience over [`Self::core_access`]).
+    pub fn core_access_cycles(
+        &mut self,
+        core: usize,
+        agent: AgentId,
+        alloc_mask: WayMask,
+        addr: u64,
+        op: CoreOp,
+    ) -> u32 {
+        let level = self.core_access(core, agent, alloc_mask, addr, op);
+        self.latency.cycles(level)
+    }
+
+    /// Inbound DDIO write of one line; stale private copies are invalidated.
+    pub fn io_write(&mut self, ddio_mask: WayMask, addr: u64) -> IoOutcome {
+        for c in &mut self.cores {
+            c.l2.invalidate(addr);
+        }
+        self.llc.io_write(ddio_mask, addr)
+    }
+
+    /// Device read of one line (never allocates in the LLC).
+    ///
+    /// If a private cache holds the line dirty the coherence protocol would
+    /// source the data from there; the LLC outcome is still what the CHA
+    /// counters observe, so we keep the LLC path authoritative.
+    pub fn io_read(&mut self, addr: u64) -> IoOutcome {
+        self.llc.io_read(addr)
+    }
+
+    /// Resets all statistics (LLC + memory) but keeps cache contents.
+    pub fn reset_stats(&mut self) {
+        self.llc.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_filters_llc_traffic() {
+        let mut h = MemoryHierarchy::tiny(1);
+        let t = AgentId::new(0);
+        let m = WayMask::all(4);
+        h.core_access(0, t, m, 0x40, CoreOp::Read);
+        let refs_before = h.llc().stats().agent(t).references;
+        // Repeated hits stay in L2 and never reach the LLC.
+        for _ in 0..10 {
+            assert_eq!(h.core_access(0, t, m, 0x40, CoreOp::Read), AccessLevel::L2);
+        }
+        assert_eq!(h.llc().stats().agent(t).references, refs_before);
+    }
+
+    #[test]
+    fn llc_hit_after_l2_eviction() {
+        let mut h = MemoryHierarchy::tiny(1);
+        let t = AgentId::new(0);
+        let m = WayMask::all(4);
+        // Touch enough lines to overflow the tiny 2-way/8-set (1 KB) L2 but
+        // stay within the 16 KB LLC.
+        let lines = 64u64;
+        for i in 0..lines {
+            h.core_access(0, t, m, i * 64, CoreOp::Read);
+        }
+        // Re-touch the first line: gone from L2, still in LLC.
+        let lvl = h.core_access(0, t, m, 0, CoreOp::Read);
+        assert_eq!(lvl, AccessLevel::Llc);
+    }
+
+    #[test]
+    fn ddio_write_invalidates_private_copies() {
+        let mut h = MemoryHierarchy::tiny(2);
+        let t = AgentId::new(0);
+        let m = WayMask::all(4);
+        h.core_access(0, t, m, 0x80, CoreOp::Read);
+        h.io_write(WayMask::single(3), 0x80);
+        // The next core access must not be served by a stale L2 line.
+        let lvl = h.core_access(0, t, m, 0x80, CoreOp::Read);
+        assert_eq!(lvl, AccessLevel::Llc);
+    }
+
+    #[test]
+    fn dirty_l2_victim_written_back_to_llc() {
+        let mut h = MemoryHierarchy::tiny(1);
+        let t = AgentId::new(0);
+        let m = WayMask::all(4);
+        h.core_access(0, t, m, 0, CoreOp::Write);
+        // Overflow L2 so line 0 gets evicted (dirty).
+        for i in 1..64u64 {
+            h.core_access(0, t, m, i * 64, CoreOp::Read);
+        }
+        // Line 0 must be findable in the LLC and dirty there (write-back
+        // hits the already-resident copy or re-installs it).
+        assert!(h.llc().contains(0));
+    }
+
+    #[test]
+    fn per_core_l2s_are_private() {
+        let mut h = MemoryHierarchy::tiny(2);
+        let t0 = AgentId::new(0);
+        let t1 = AgentId::new(1);
+        let m = WayMask::all(4);
+        h.core_access(0, t0, m, 0x40, CoreOp::Read);
+        // Core 1 misses its own L2 (hits LLC instead).
+        let lvl = h.core_access(1, t1, m, 0x40, CoreOp::Read);
+        assert_eq!(lvl, AccessLevel::Llc);
+        assert_eq!(h.core(0).l2().hits(), 0);
+    }
+}

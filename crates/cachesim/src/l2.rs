@@ -1,0 +1,222 @@
+//! Private per-core L2 cache.
+
+use crate::geometry::CacheGeometry;
+use crate::line_of;
+
+#[derive(Debug, Clone, Copy)]
+struct L2Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+impl L2Line {
+    const INVALID: L2Line = L2Line { tag: 0, valid: false, dirty: false, lru: 0 };
+}
+
+/// Result of an L2 access-and-fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Outcome {
+    /// The access hit in L2.
+    pub hit: bool,
+    /// On a miss, the line address of a dirty victim that must be written
+    /// back to the LLC (non-inclusive hierarchy).
+    pub dirty_victim: Option<u64>,
+}
+
+/// A private, unpartitioned, LRU set-associative cache (the Xeon 6140's
+/// 1 MB 16-way L2).
+///
+/// The L2 filters core traffic before it reaches the LLC: a workload whose
+/// working set fits in L2 barely touches the LLC and is therefore
+/// insensitive to LLC allocation — the reason the paper's X-Mem experiments
+/// start at working sets above the L2 size.
+///
+/// ```
+/// use iat_cachesim::{CacheGeometry, L2Cache};
+/// let mut l2 = L2Cache::new(CacheGeometry::xeon_6140_l2());
+/// assert!(!l2.access(0x80, false).hit);
+/// assert!(l2.access(0x80, false).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct L2Cache {
+    geom: CacheGeometry,
+    lines: Vec<L2Line>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl L2Cache {
+    /// Creates an empty L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has more than one slice (L2s are private and
+    /// unsliced).
+    pub fn new(geom: CacheGeometry) -> Self {
+        assert_eq!(geom.slices(), 1, "L2 caches are unsliced");
+        L2Cache {
+            geom,
+            lines: vec![L2Line::INVALID; geom.total_lines() as usize],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Cumulative hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    #[inline]
+    fn base_of(&self, addr: u64) -> usize {
+        let (_, set) = self.geom.index(addr);
+        set as usize * self.geom.ways() as usize
+    }
+
+    /// Accesses `addr`; on a miss the line is filled (replacing the LRU way)
+    /// and a dirty victim, if any, is reported for write-back to the LLC.
+    pub fn access(&mut self, addr: u64, write: bool) -> L2Outcome {
+        let tag = line_of(addr);
+        let base = self.base_of(addr);
+        let ways = self.geom.ways() as usize;
+        self.tick += 1;
+        for w in 0..ways {
+            let l = &mut self.lines[base + w];
+            if l.valid && l.tag == tag {
+                l.lru = self.tick;
+                if write {
+                    l.dirty = true;
+                }
+                self.hits += 1;
+                return L2Outcome { hit: true, dirty_victim: None };
+            }
+        }
+        self.misses += 1;
+        // Victim: first invalid way, else LRU.
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for w in 0..ways {
+            let l = &self.lines[base + w];
+            if !l.valid {
+                victim = w;
+                break;
+            }
+            if l.lru < best {
+                best = l.lru;
+                victim = w;
+            }
+        }
+        let old = self.lines[base + victim];
+        let dirty_victim = (old.valid && old.dirty).then_some(old.tag);
+        self.lines[base + victim] = L2Line { tag, valid: true, dirty: write, lru: self.tick };
+        L2Outcome { hit: false, dirty_victim }
+    }
+
+    /// Invalidates the line containing `addr` if resident, returning `true`
+    /// if it was dirty (used when DDIO-written data supersedes stale copies).
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let tag = line_of(addr);
+        let base = self.base_of(addr);
+        for w in 0..self.geom.ways() as usize {
+            let l = &mut self.lines[base + w];
+            if l.valid && l.tag == tag {
+                let dirty = l.dirty;
+                *l = L2Line::INVALID;
+                return dirty;
+            }
+        }
+        false
+    }
+
+    /// Drops all contents and statistics.
+    pub fn clear(&mut self) {
+        self.lines.fill(L2Line::INVALID);
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_l2() -> L2Cache {
+        L2Cache::new(CacheGeometry::new(2, 4, 1).unwrap())
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut l2 = tiny_l2();
+        assert!(!l2.access(0x100, false).hit);
+        assert!(l2.access(0x100, false).hit);
+        assert_eq!(l2.hits(), 1);
+        assert_eq!(l2.misses(), 1);
+    }
+
+    #[test]
+    fn dirty_victim_reported() {
+        let mut l2 = tiny_l2();
+        let geom = *l2.geometry();
+        // Three conflicting addresses in a 2-way set.
+        let mut addrs = vec![0u64];
+        let mut x = 64u64;
+        while addrs.len() < 3 {
+            if geom.index(x).1 == geom.index(0).1 {
+                addrs.push(x);
+            }
+            x += 64;
+        }
+        l2.access(addrs[0], true); // dirty
+        l2.access(addrs[1], false);
+        let o = l2.access(addrs[2], false); // evicts addrs[0], dirty
+        assert_eq!(o.dirty_victim, Some(addrs[0]));
+    }
+
+    #[test]
+    fn clean_victim_not_reported() {
+        let mut l2 = tiny_l2();
+        let geom = *l2.geometry();
+        let mut addrs = vec![0u64];
+        let mut x = 64u64;
+        while addrs.len() < 3 {
+            if geom.index(x).1 == geom.index(0).1 {
+                addrs.push(x);
+            }
+            x += 64;
+        }
+        l2.access(addrs[0], false);
+        l2.access(addrs[1], false);
+        let o = l2.access(addrs[2], false);
+        assert_eq!(o.dirty_victim, None);
+    }
+
+    #[test]
+    fn invalidate_returns_dirtiness() {
+        let mut l2 = tiny_l2();
+        l2.access(0x200, true);
+        assert!(l2.invalidate(0x200));
+        assert!(!l2.access(0x200, false).hit, "invalidated line must miss");
+        assert!(!l2.invalidate(0x999), "absent line");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsliced")]
+    fn sliced_geometry_rejected() {
+        let _ = L2Cache::new(CacheGeometry::tiny());
+    }
+}

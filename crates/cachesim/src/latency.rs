@@ -1,0 +1,82 @@
+//! Latency model: cycle costs per hierarchy level.
+
+/// The hierarchy level that served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessLevel {
+    /// Served by the core's private L2 (L1 is folded into the base
+    /// instruction cost and not modelled separately).
+    L2,
+    /// Served by the shared LLC.
+    Llc,
+    /// Served by main memory.
+    Memory,
+}
+
+/// Cycle cost of an access by the level that served it.
+///
+/// Values default to the Xeon Gold 6140 at 2.3 GHz (Table I): ~14 cycles to
+/// L2, ~50 cycles to LLC (NUCA average), ~220 cycles (~95 ns) to DRAM. The
+/// absolute values only set the scale of the simulation; the paper's effects
+/// come from the *ratios* (memory is ~4–5× slower than LLC).
+///
+/// ```
+/// use iat_cachesim::{AccessLevel, LatencyModel};
+/// let lat = LatencyModel::default();
+/// assert!(lat.cycles(AccessLevel::Memory) > lat.cycles(AccessLevel::Llc));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Cycles for an L2 hit.
+    pub l2_cycles: u32,
+    /// Cycles for an LLC hit.
+    pub llc_cycles: u32,
+    /// Cycles for a memory access.
+    pub memory_cycles: u32,
+}
+
+impl LatencyModel {
+    /// Creates a model with explicit per-level costs.
+    pub fn new(l2_cycles: u32, llc_cycles: u32, memory_cycles: u32) -> Self {
+        LatencyModel { l2_cycles, llc_cycles, memory_cycles }
+    }
+
+    /// Cycle cost of an access served at `level`.
+    pub fn cycles(&self, level: AccessLevel) -> u32 {
+        match level {
+            AccessLevel::L2 => self.l2_cycles,
+            AccessLevel::Llc => self.llc_cycles,
+            AccessLevel::Memory => self.memory_cycles,
+        }
+    }
+
+    /// Nanoseconds for an access served at `level` on a core running at
+    /// `ghz`.
+    pub fn nanos(&self, level: AccessLevel, ghz: f64) -> f64 {
+        self.cycles(level) as f64 / ghz
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel { l2_cycles: 14, llc_cycles: 50, memory_cycles: 220 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_sane() {
+        let m = LatencyModel::default();
+        assert!(m.cycles(AccessLevel::L2) < m.cycles(AccessLevel::Llc));
+        assert!(m.cycles(AccessLevel::Llc) < m.cycles(AccessLevel::Memory));
+    }
+
+    #[test]
+    fn nanos_scaling() {
+        let m = LatencyModel::new(10, 50, 230);
+        // 230 cycles at 2.3 GHz = 100 ns.
+        assert!((m.nanos(AccessLevel::Memory, 2.3) - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,308 @@
+//! Way masks: the unit of LLC partitioning under Intel CAT.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A bitmask selecting a subset of the ways of a set-associative cache.
+///
+/// Bit `i` set means way `i` is included. This mirrors the capacity bitmasks
+/// (CBMs) programmed into CAT class-of-service MSRs and the IIO LLC WAYS
+/// register that controls DDIO's write-allocate ways.
+///
+/// Hardware CAT requires CBMs to be non-empty and contiguous; this type can
+/// represent arbitrary masks (the DDIO register is not architecturally
+/// required to be contiguous) and offers [`WayMask::is_contiguous`] plus the
+/// checked [`WayMask::contiguous`] constructor for the CAT-constrained path.
+///
+/// ```
+/// use iat_cachesim::WayMask;
+/// let m = WayMask::contiguous(2, 3).unwrap(); // ways {2,3,4}
+/// assert_eq!(m.count(), 3);
+/// assert!(m.contains(3));
+/// assert!(!m.contains(5));
+/// assert!(m.is_contiguous());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WayMask(u32);
+
+impl WayMask {
+    /// The empty mask (no ways). Invalid for CAT but useful as an identity.
+    pub const EMPTY: WayMask = WayMask(0);
+
+    /// Creates a mask from raw bits.
+    pub fn from_bits(bits: u32) -> Self {
+        WayMask(bits)
+    }
+
+    /// Creates a contiguous mask of `count` ways starting at way `first`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWayMask`] if `count` is zero or the range
+    /// exceeds 32 ways.
+    pub fn contiguous(first: u8, count: u8) -> Result<Self> {
+        if count == 0 {
+            return Err(Error::InvalidWayMask { bits: 0, ways: 32, reason: "empty mask" });
+        }
+        let end = first as u32 + count as u32;
+        if end > 32 {
+            return Err(Error::InvalidWayMask {
+                bits: 0,
+                ways: 32,
+                reason: "mask exceeds 32 ways",
+            });
+        }
+        let bits = (((1u64 << count) - 1) << first) as u32;
+        Ok(WayMask(bits))
+    }
+
+    /// Creates a mask covering the single way `way`.
+    pub fn single(way: u8) -> Self {
+        assert!(way < 32, "way index out of range");
+        WayMask(1 << way)
+    }
+
+    /// Creates a mask covering all `ways` ways of a cache.
+    pub fn all(ways: u8) -> Self {
+        assert!(ways <= 32, "associativity out of range");
+        if ways == 32 {
+            WayMask(u32::MAX)
+        } else {
+            WayMask((1u32 << ways) - 1)
+        }
+    }
+
+    /// Raw bits of the mask.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Number of ways selected.
+    pub fn count(self) -> u8 {
+        self.0.count_ones() as u8
+    }
+
+    /// Returns `true` if no ways are selected.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if way `way` is selected.
+    pub fn contains(self, way: u8) -> bool {
+        way < 32 && self.0 & (1 << way) != 0
+    }
+
+    /// Returns `true` if the selected ways form one contiguous run.
+    ///
+    /// The empty mask is not considered contiguous (hardware rejects it).
+    pub fn is_contiguous(self) -> bool {
+        if self.0 == 0 {
+            return false;
+        }
+        let shifted = self.0 >> self.0.trailing_zeros();
+        (shifted & shifted.wrapping_add(1)) == 0
+    }
+
+    /// Returns `true` if every way of `self` fits within a cache of the
+    /// given associativity.
+    pub fn fits(self, ways: u8) -> bool {
+        self.0 & !WayMask::all(ways).0 == 0
+    }
+
+    /// Set union of two masks.
+    pub fn union(self, other: WayMask) -> WayMask {
+        WayMask(self.0 | other.0)
+    }
+
+    /// Set intersection of two masks.
+    pub fn intersection(self, other: WayMask) -> WayMask {
+        WayMask(self.0 & other.0)
+    }
+
+    /// Ways in `self` that are not in `other`.
+    pub fn difference(self, other: WayMask) -> WayMask {
+        WayMask(self.0 & !other.0)
+    }
+
+    /// Returns `true` if the two masks share at least one way.
+    pub fn overlaps(self, other: WayMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Index of the lowest selected way, if any.
+    pub fn lowest(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as u8)
+        }
+    }
+
+    /// Index of the highest selected way, if any.
+    pub fn highest(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(31 - self.0.leading_zeros() as u8)
+        }
+    }
+
+    /// Iterates over the indices of the selected ways, lowest first.
+    pub fn iter(self) -> Ways {
+        Ways(self.0)
+    }
+}
+
+impl fmt::Display for WayMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ways{{")?;
+        let mut first = true;
+        for w in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{w}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Binary for WayMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for WayMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for WayMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl std::ops::BitOr for WayMask {
+    type Output = WayMask;
+    fn bitor(self, rhs: WayMask) -> WayMask {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitAnd for WayMask {
+    type Output = WayMask;
+    fn bitand(self, rhs: WayMask) -> WayMask {
+        self.intersection(rhs)
+    }
+}
+
+impl FromIterator<u8> for WayMask {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        let mut bits = 0u32;
+        for w in iter {
+            assert!(w < 32, "way index out of range");
+            bits |= 1 << w;
+        }
+        WayMask(bits)
+    }
+}
+
+/// Iterator over the way indices of a [`WayMask`], produced by
+/// [`WayMask::iter`].
+#[derive(Debug, Clone)]
+pub struct Ways(u32);
+
+impl Iterator for Ways {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            let w = self.0.trailing_zeros() as u8;
+            self.0 &= self.0 - 1;
+            Some(w)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Ways {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_construction() {
+        let m = WayMask::contiguous(9, 2).unwrap();
+        assert_eq!(m.bits(), 0b110_0000_0000);
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.lowest(), Some(9));
+        assert_eq!(m.highest(), Some(10));
+    }
+
+    #[test]
+    fn contiguous_rejects_empty_and_overflow() {
+        assert!(WayMask::contiguous(0, 0).is_err());
+        assert!(WayMask::contiguous(30, 5).is_err());
+        assert!(WayMask::contiguous(0, 32).is_ok());
+    }
+
+    #[test]
+    fn contiguity_detection() {
+        assert!(WayMask::from_bits(0b0111).is_contiguous());
+        assert!(WayMask::from_bits(0b1000).is_contiguous());
+        assert!(!WayMask::from_bits(0b0101).is_contiguous());
+        assert!(!WayMask::EMPTY.is_contiguous());
+        assert!(WayMask::all(32).is_contiguous());
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = WayMask::from_bits(0b0011);
+        let b = WayMask::from_bits(0b0110);
+        assert_eq!((a | b).bits(), 0b0111);
+        assert_eq!((a & b).bits(), 0b0010);
+        assert_eq!(a.difference(b).bits(), 0b0001);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(WayMask::from_bits(0b1000)));
+    }
+
+    #[test]
+    fn fits_respects_associativity() {
+        assert!(WayMask::from_bits(0b111).fits(3));
+        assert!(!WayMask::from_bits(0b1000).fits(3));
+        assert!(WayMask::all(11).fits(11));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let m: Vec<u8> = WayMask::from_bits(0b1010_0001).iter().collect();
+        assert_eq!(m, vec![0, 5, 7]);
+        let back: WayMask = m.into_iter().collect();
+        assert_eq!(back.bits(), 0b1010_0001);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = WayMask::from_bits(0b101);
+        assert_eq!(m.to_string(), "ways{0,2}");
+        assert_eq!(format!("{m:b}"), "101");
+        assert_eq!(format!("{m:x}"), "5");
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let it = WayMask::all(11).iter();
+        assert_eq!(it.len(), 11);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the cache model's structural invariants.
+
+use iat_cachesim::{AgentId, CacheGeometry, CoreOp, Llc, WayMask};
+use proptest::prelude::*;
+
+/// An arbitrary operation against the LLC.
+#[derive(Debug, Clone)]
+enum Op {
+    Core { agent: u16, mask_first: u8, mask_count: u8, addr: u64, write: bool },
+    IoWrite { addr: u64 },
+    IoRead { addr: u64 },
+}
+
+fn op_strategy(ways: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..4, 0..ways, 1..=ways, 0u64..1 << 20, any::<bool>()).prop_map(
+            |(agent, first, count, addr, write)| {
+                Op::Core { agent, mask_first: first, mask_count: count, addr, write }
+            }
+        ),
+        (0u64..1 << 20).prop_map(|addr| Op::IoWrite { addr }),
+        (0u64..1 << 20).prop_map(|addr| Op::IoRead { addr }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any operation sequence: occupancy bookkeeping matches the
+    /// actual resident-line count, and capacity is never exceeded.
+    #[test]
+    fn occupancy_consistent(ops in proptest::collection::vec(op_strategy(4), 1..200)) {
+        let geom = CacheGeometry::tiny();
+        let mut llc = Llc::new(geom);
+        let ddio = WayMask::contiguous(2, 2).unwrap();
+        for op in &ops {
+            match *op {
+                Op::Core { agent, mask_first, mask_count, addr, write } => {
+                    let count = mask_count.min(geom.ways() - mask_first);
+                    if count == 0 { continue; }
+                    let mask = WayMask::contiguous(mask_first, count).unwrap();
+                    let op = if write { CoreOp::Write } else { CoreOp::Read };
+                    llc.core_access(AgentId::new(agent), mask, addr, op);
+                }
+                Op::IoWrite { addr } => { llc.io_write(ddio, addr); }
+                Op::IoRead { addr } => { llc.io_read(addr); }
+            }
+        }
+        let sum: u64 = llc.stats().agents.values().map(|a| a.occupancy_lines).sum();
+        prop_assert_eq!(sum, llc.valid_lines());
+        prop_assert!(llc.valid_lines() <= geom.total_lines());
+    }
+
+    /// DDIO accounting: every io_write is exactly one hit or one miss, and
+    /// per-slice counts sum to the totals.
+    #[test]
+    fn ddio_counts_partition(addrs in proptest::collection::vec(0u64..1 << 16, 1..300)) {
+        let mut llc = Llc::new(CacheGeometry::tiny());
+        let ddio = WayMask::contiguous(0, 2).unwrap();
+        for &a in &addrs {
+            llc.io_write(ddio, a);
+        }
+        let st = llc.stats();
+        prop_assert_eq!(st.ddio_hits() + st.ddio_misses(), addrs.len() as u64);
+    }
+
+    /// An access immediately after a miss to the same line hits
+    /// (no spontaneous eviction).
+    #[test]
+    fn miss_then_hit(addr in 0u64..1 << 30, first in 0u8..4, count in 1u8..=4) {
+        let count = count.min(4 - first);
+        prop_assume!(count >= 1);
+        let mut llc = Llc::new(CacheGeometry::tiny());
+        let mask = WayMask::contiguous(first, count).unwrap();
+        let a = AgentId::new(0);
+        llc.core_access(a, mask, addr, CoreOp::Read);
+        prop_assert!(llc.core_access(a, mask, addr, CoreOp::Read).is_hit());
+    }
+
+    /// Memory counters are monotonic over any operation sequence.
+    #[test]
+    fn memory_counters_monotonic(ops in proptest::collection::vec(op_strategy(4), 1..100)) {
+        let mut llc = Llc::new(CacheGeometry::tiny());
+        let ddio = WayMask::single(3);
+        let mut last = (0u64, 0u64);
+        for op in &ops {
+            match *op {
+                Op::Core { agent, addr, write, .. } => {
+                    let op = if write { CoreOp::Write } else { CoreOp::Read };
+                    llc.core_access(AgentId::new(agent), WayMask::all(4), addr, op);
+                }
+                Op::IoWrite { addr } => { llc.io_write(ddio, addr); }
+                Op::IoRead { addr } => { llc.io_read(addr); }
+            }
+            let now = (llc.mem().read_lines(), llc.mem().write_lines());
+            prop_assert!(now.0 >= last.0 && now.1 >= last.1);
+            last = now;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// WayMask algebra: iteration agrees with membership; union/intersection
+    /// behave as sets; contiguous masks report contiguity.
+    #[test]
+    fn mask_algebra(a in 0u32..1 << 11, b in 0u32..1 << 11) {
+        let ma = WayMask::from_bits(a);
+        let mb = WayMask::from_bits(b);
+        for w in 0..11u8 {
+            prop_assert_eq!(ma.contains(w), a & (1 << w) != 0);
+            prop_assert_eq!((ma | mb).contains(w), ma.contains(w) || mb.contains(w));
+            prop_assert_eq!((ma & mb).contains(w), ma.contains(w) && mb.contains(w));
+            prop_assert_eq!(ma.difference(mb).contains(w), ma.contains(w) && !mb.contains(w));
+        }
+        prop_assert_eq!(ma.count() as u32, a.count_ones());
+        let collected: WayMask = ma.iter().collect();
+        prop_assert_eq!(collected, ma);
+        prop_assert_eq!(ma.overlaps(mb), !(ma & mb).is_empty());
+    }
+
+    #[test]
+    fn contiguous_masks_are_contiguous(first in 0u8..31, count in 1u8..16) {
+        prop_assume!(first as u32 + count as u32 <= 32);
+        let m = WayMask::contiguous(first, count).unwrap();
+        prop_assert!(m.is_contiguous());
+        prop_assert_eq!(m.count(), count);
+        prop_assert_eq!(m.lowest(), Some(first));
+        prop_assert_eq!(m.highest(), Some(first + count - 1));
+    }
+}

@@ -1,0 +1,250 @@
+//! The five-state Mealy FSM of IAT (paper Fig. 6).
+//!
+//! The FSM decides, from chip-wide DDIO hit/miss behaviour and system LLC
+//! references, whether LLC pressure originates from the **I/O** (grow
+//! DDIO's ways) or from the **cores** (grow a tenant's ways), or whether
+//! capacity can be **reclaimed**.
+
+use crate::trend::Trend;
+use std::fmt;
+
+/// The system state IAT believes it is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum State {
+    /// I/O traffic is light; DDIO sits at its minimum ways.
+    LowKeep,
+    /// DDIO already holds its maximum ways; hold steady.
+    HighKeep,
+    /// I/O contends for the LLC: grow DDIO's ways.
+    IoDemand,
+    /// A core-side workload contends with the I/O: grow the tenant's ways.
+    CoreDemand,
+    /// Pressure subsided: reclaim ways from DDIO (or an over-provisioned
+    /// tenant).
+    Reclaim,
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            State::LowKeep => "low-keep",
+            State::HighKeep => "high-keep",
+            State::IoDemand => "io-demand",
+            State::CoreDemand => "core-demand",
+            State::Reclaim => "reclaim",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The observations one FSM evaluation consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signals {
+    /// DDIO miss rate exceeds `THRESHOLD_MISS_LOW`.
+    pub miss_high: bool,
+    /// Trend of the DDIO hit count vs. the previous interval.
+    pub hit_trend: Trend,
+    /// Trend of the DDIO miss count vs. the previous interval.
+    pub miss_trend: Trend,
+    /// Trend of system-wide LLC references vs. the previous interval.
+    pub refs_trend: Trend,
+    /// DDIO currently holds `DDIO_WAYS_MIN` ways.
+    pub at_min: bool,
+    /// DDIO currently holds `DDIO_WAYS_MAX` ways.
+    pub at_max: bool,
+}
+
+/// One FSM evaluation: returns the next state.
+///
+/// Transition numbers refer to the paper's Fig. 6. Evaluations only happen
+/// when the Poll Prof Data step saw instability; a stable system never
+/// reaches this function and simply remains in its state.
+pub fn next_state(state: State, s: Signals) -> State {
+    match state {
+        State::LowKeep => {
+            if s.miss_high {
+                // ⑤: the core is squeezing the Rx buffers out of the LLC.
+                if s.hit_trend == Trend::Down && s.refs_trend == Trend::Up {
+                    State::CoreDemand
+                } else {
+                    // ①: intensive I/O traffic itself.
+                    State::IoDemand
+                }
+            } else {
+                State::LowKeep
+            }
+        }
+        State::CoreDemand => {
+            if s.miss_trend == Trend::Down {
+                // ⑧: balance restored; look for waste.
+                State::Reclaim
+            } else if s.miss_trend == Trend::Up && s.hit_trend != Trend::Down {
+                // ④: the core no longer dominates; the I/O does.
+                State::IoDemand
+            } else {
+                State::CoreDemand
+            }
+        }
+        State::IoDemand => {
+            if s.hit_trend == Trend::Down && s.miss_trend != Trend::Down {
+                // ⑦: fewer hits with stable-or-more misses: core contends.
+                State::CoreDemand
+            } else if s.miss_trend == Trend::Down && !s.miss_high {
+                // ⑥: significant degradation of DDIO miss — and the I/O no
+                // longer presses the LLC (Reclaim is a low-intensity state
+                // "similar to Low Keep"): over-provisioned.
+                State::Reclaim
+            } else if s.miss_high && s.at_max {
+                // ⑩: grown as far as allowed.
+                State::HighKeep
+            } else {
+                State::IoDemand
+            }
+        }
+        State::HighKeep => {
+            // ⑪/⑫: same exit rules as I/O Demand.
+            if s.hit_trend == Trend::Down && s.miss_trend != Trend::Down {
+                State::CoreDemand
+            } else if s.miss_trend == Trend::Down && !s.miss_high {
+                State::Reclaim
+            } else {
+                State::HighKeep
+            }
+        }
+        State::Reclaim => {
+            if s.miss_trend == Trend::Up || s.miss_high {
+                if s.hit_trend == Trend::Down {
+                    // ⑨: misses grew while hits fell: the core did it.
+                    State::CoreDemand
+                } else {
+                    // ③: the I/O needs its capacity back (edge- or
+                    // level-triggered: sustained pressure must not keep
+                    // shrinking DDIO).
+                    State::IoDemand
+                }
+            } else if s.at_min {
+                // ②: nothing left to reclaim from DDIO.
+                State::LowKeep
+            } else {
+                State::Reclaim
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> Signals {
+        Signals {
+            miss_high: false,
+            hit_trend: Trend::Stable,
+            miss_trend: Trend::Stable,
+            refs_trend: Trend::Stable,
+            at_min: false,
+            at_max: false,
+        }
+    }
+
+    #[test]
+    fn low_keep_to_io_demand_on_traffic_surge() {
+        // ①: DDIO misses high, hits rising: intensive I/O.
+        let s = Signals { miss_high: true, hit_trend: Trend::Up, ..quiet() };
+        assert_eq!(next_state(State::LowKeep, s), State::IoDemand);
+    }
+
+    #[test]
+    fn low_keep_to_core_demand_on_core_pressure() {
+        // ⑤: misses high, hits falling, LLC references rising.
+        let s = Signals {
+            miss_high: true,
+            hit_trend: Trend::Down,
+            refs_trend: Trend::Up,
+            ..quiet()
+        };
+        assert_eq!(next_state(State::LowKeep, s), State::CoreDemand);
+    }
+
+    #[test]
+    fn low_keep_stays_quiet() {
+        assert_eq!(next_state(State::LowKeep, quiet()), State::LowKeep);
+    }
+
+    #[test]
+    fn io_demand_saturates_to_high_keep() {
+        // ⑩: still missing heavily at DDIO_WAYS_MAX.
+        let s = Signals { miss_high: true, at_max: true, ..quiet() };
+        assert_eq!(next_state(State::IoDemand, s), State::HighKeep);
+        // Not yet at max: keep growing.
+        let s = Signals { miss_high: true, at_max: false, ..quiet() };
+        assert_eq!(next_state(State::IoDemand, s), State::IoDemand);
+    }
+
+    #[test]
+    fn io_demand_to_reclaim_on_miss_drop() {
+        // ⑥.
+        let s = Signals { miss_trend: Trend::Down, ..quiet() };
+        assert_eq!(next_state(State::IoDemand, s), State::Reclaim);
+    }
+
+    #[test]
+    fn io_demand_to_core_demand_on_hit_drop() {
+        // ⑦: fewer hits, stable misses.
+        let s = Signals { hit_trend: Trend::Down, miss_trend: Trend::Stable, ..quiet() };
+        assert_eq!(next_state(State::IoDemand, s), State::CoreDemand);
+        // ⑦ also with rising misses.
+        let s = Signals { hit_trend: Trend::Down, miss_trend: Trend::Up, ..quiet() };
+        assert_eq!(next_state(State::IoDemand, s), State::CoreDemand);
+    }
+
+    #[test]
+    fn core_demand_transitions() {
+        // ⑧: balance.
+        let s = Signals { miss_trend: Trend::Down, ..quiet() };
+        assert_eq!(next_state(State::CoreDemand, s), State::Reclaim);
+        // ④: I/O took over.
+        let s = Signals { miss_trend: Trend::Up, hit_trend: Trend::Up, ..quiet() };
+        assert_eq!(next_state(State::CoreDemand, s), State::IoDemand);
+        let s = Signals { miss_trend: Trend::Up, hit_trend: Trend::Stable, ..quiet() };
+        assert_eq!(next_state(State::CoreDemand, s), State::IoDemand);
+        // Neither: stay.
+        let s = Signals { miss_trend: Trend::Up, hit_trend: Trend::Down, ..quiet() };
+        assert_eq!(next_state(State::CoreDemand, s), State::CoreDemand);
+        assert_eq!(next_state(State::CoreDemand, quiet()), State::CoreDemand);
+    }
+
+    #[test]
+    fn high_keep_exits() {
+        // ⑪.
+        let s = Signals { miss_trend: Trend::Down, ..quiet() };
+        assert_eq!(next_state(State::HighKeep, s), State::Reclaim);
+        // ⑫.
+        let s = Signals { hit_trend: Trend::Down, miss_trend: Trend::Stable, ..quiet() };
+        assert_eq!(next_state(State::HighKeep, s), State::CoreDemand);
+        // Otherwise hold.
+        let s = Signals { miss_high: true, ..quiet() };
+        assert_eq!(next_state(State::HighKeep, s), State::HighKeep);
+    }
+
+    #[test]
+    fn reclaim_transitions() {
+        // ③.
+        let s = Signals { miss_trend: Trend::Up, ..quiet() };
+        assert_eq!(next_state(State::Reclaim, s), State::IoDemand);
+        // ⑨ takes precedence when hits also fell.
+        let s = Signals { miss_trend: Trend::Up, hit_trend: Trend::Down, ..quiet() };
+        assert_eq!(next_state(State::Reclaim, s), State::CoreDemand);
+        // ②: reached the floor.
+        let s = Signals { at_min: true, ..quiet() };
+        assert_eq!(next_state(State::Reclaim, s), State::LowKeep);
+        // Keep reclaiming otherwise.
+        assert_eq!(next_state(State::Reclaim, quiet()), State::Reclaim);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(State::IoDemand.to_string(), "io-demand");
+        assert_eq!(State::LowKeep.to_string(), "low-keep");
+    }
+}

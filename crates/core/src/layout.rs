@@ -1,0 +1,274 @@
+//! Contiguous way-layout planning and the DDIO-sharing shuffle policy
+//! (paper Sec. IV-D, second half).
+//!
+//! CAT requires each class's mask to be contiguous, so changing *who*
+//! overlaps DDIO's (top) ways means re-ordering the tenants' contiguous
+//! ranges — the paper's *shuffling*. The planner packs ranges from way 0
+//! upward; when the ranges spill into DDIO's ways, the tenants placed
+//! topmost absorb the overlap. DDIO-aware ordering places best-effort
+//! tenants with the smallest LLC reference counts topmost, so they (and
+//! never the performance-critical tenants, if avoidable) share with DDIO.
+
+use crate::tenant_info::Priority;
+use iat_cachesim::{AgentId, WayMask};
+use iat_rdt::ClosId;
+
+/// Planner input for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanInput {
+    /// The tenant's agent.
+    pub agent: AgentId,
+    /// The tenant's class of service.
+    pub clos: ClosId,
+    /// Priority class (drives who may share with DDIO).
+    pub priority: Priority,
+    /// Number of ways the tenant should hold.
+    pub ways: u8,
+    /// LLC references in the current iteration (the shuffle sort key).
+    pub llc_refs: u64,
+}
+
+/// Planner output for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The tenant's agent.
+    pub agent: AgentId,
+    /// The tenant's class of service.
+    pub clos: ClosId,
+    /// The contiguous mask to program.
+    pub mask: WayMask,
+}
+
+/// Plans contiguous way layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutPlanner {
+    ways: u8,
+}
+
+impl LayoutPlanner {
+    /// Creates a planner for an LLC with `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or exceeds 32.
+    pub fn new(ways: u8) -> Self {
+        assert!((1..=32).contains(&ways), "ways out of range");
+        LayoutPlanner { ways }
+    }
+
+    /// Total LLC ways.
+    pub fn ways(&self) -> u8 {
+        self.ways
+    }
+
+    /// Plans the layout.
+    ///
+    /// * `ddio_aware` — order tenants so BE tenants with the smallest LLC
+    ///   reference counts sit topmost (sharing DDIO's ways when sharing is
+    ///   unavoidable). When `false` (the Core-only baseline), registration
+    ///   order is kept and DDIO is ignored.
+    /// * `exclude_ddio` — the I/O-iso baseline: tenants may only use ways
+    ///   below `ddio_ways_top`; allocations are *shrunk* (largest first) to
+    ///   fit, mirroring how I/O-iso leaves the PC containers squeezed in
+    ///   the paper's Fig. 10.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tenant has zero ways or the total exceeds the LLC
+    /// (callers must keep `sum(ways) <= ways`).
+    pub fn plan(
+        &self,
+        tenants: &[PlanInput],
+        ddio_ways_top: u8,
+        ddio_aware: bool,
+        exclude_ddio: bool,
+    ) -> Vec<Placement> {
+        let mut order: Vec<PlanInput> = tenants.to_vec();
+        for t in &order {
+            assert!(t.ways >= 1, "CAT requires at least one way per tenant");
+        }
+        if exclude_ddio {
+            let available = self.ways.saturating_sub(ddio_ways_top).max(1);
+            let mut total: u32 = order.iter().map(|t| t.ways as u32).sum();
+            while total > available as u32 {
+                // Shrink the currently largest allocation by one way.
+                let victim = order
+                    .iter_mut()
+                    .max_by_key(|t| t.ways)
+                    .expect("non-empty tenant list");
+                assert!(victim.ways > 1, "cannot fit tenants below DDIO's ways");
+                victim.ways -= 1;
+                total -= 1;
+            }
+        }
+        let total: u32 = order.iter().map(|t| t.ways as u32).sum();
+        assert!(total <= self.ways as u32, "tenant ways exceed the LLC");
+
+        if ddio_aware {
+            // Bottom-to-top: PC and the stack first (largest refs first),
+            // then BE with the largest refs, leaving the smallest-refs BE
+            // tenants topmost — the paper's DDIO-sharing candidates.
+            order.sort_by(|a, b| {
+                let group = |p: Priority| matches!(p, Priority::Be) as u8;
+                group(a.priority)
+                    .cmp(&group(b.priority))
+                    .then(b.llc_refs.cmp(&a.llc_refs))
+                    .then(a.agent.cmp(&b.agent))
+            });
+        }
+
+        let mut start = 0u8;
+        order
+            .iter()
+            .map(|t| {
+                let mask = WayMask::contiguous(start, t.ways).expect("fits by assertion");
+                start += t.ways;
+                Placement { agent: t.agent, clos: t.clos, mask }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(id: u16, priority: Priority, ways: u8, refs: u64) -> PlanInput {
+        PlanInput {
+            agent: AgentId::new(id),
+            clos: ClosId::new((id + 1) as u8),
+            priority,
+            ways,
+            llc_refs: refs,
+        }
+    }
+
+    fn mask_of(placements: &[Placement], id: u16) -> WayMask {
+        placements.iter().find(|p| p.agent == AgentId::new(id)).unwrap().mask
+    }
+
+    #[test]
+    fn packs_contiguously_without_overlap() {
+        let p = LayoutPlanner::new(11);
+        let out = p.plan(
+            &[input(0, Priority::Pc, 2, 100), input(1, Priority::Be, 3, 50)],
+            2,
+            true,
+            false,
+        );
+        let all: WayMask = out.iter().fold(WayMask::EMPTY, |m, pl| m | pl.mask);
+        assert_eq!(all.count(), 5);
+        for (i, a) in out.iter().enumerate() {
+            assert!(a.mask.is_contiguous());
+            for b in &out[i + 1..] {
+                assert!(!a.mask.overlaps(b.mask), "tenant masks must not overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_ways_prevent_ddio_overlap() {
+        // 2+3 ways over 11 with DDIO on top 2: nothing overlaps ways 9..11.
+        let p = LayoutPlanner::new(11);
+        let out = p.plan(
+            &[input(0, Priority::Pc, 2, 0), input(1, Priority::Be, 3, 0)],
+            2,
+            true,
+            false,
+        );
+        let ddio = WayMask::contiguous(9, 2).unwrap();
+        for pl in &out {
+            assert!(!pl.mask.overlaps(ddio));
+        }
+    }
+
+    #[test]
+    fn smallest_refs_be_absorbs_overlap() {
+        // 4+4+3 = 11 ways with DDIO on the top 2: full, someone overlaps.
+        let p = LayoutPlanner::new(11);
+        let out = p.plan(
+            &[
+                input(0, Priority::Pc, 4, 10),
+                input(1, Priority::Be, 4, 1_000_000), // hungry BE
+                input(2, Priority::Be, 3, 10),        // quiet BE -> shares
+            ],
+            2,
+            true,
+            false,
+        );
+        let ddio = WayMask::contiguous(9, 2).unwrap();
+        assert!(!mask_of(&out, 0).overlaps(ddio), "PC must not share with DDIO");
+        assert!(!mask_of(&out, 1).overlaps(ddio), "hungry BE must not share");
+        assert!(mask_of(&out, 2).overlaps(ddio), "quiet BE must share");
+    }
+
+    #[test]
+    fn shuffle_follows_reference_counts() {
+        // Same tenants, swapped reference counts: the other BE now shares.
+        let p = LayoutPlanner::new(11);
+        let t = [
+            input(0, Priority::Pc, 4, 10),
+            input(1, Priority::Be, 4, 5),
+            input(2, Priority::Be, 3, 900),
+        ];
+        let out = p.plan(&t, 2, true, false);
+        let ddio = WayMask::contiguous(9, 2).unwrap();
+        assert!(mask_of(&out, 1).overlaps(ddio));
+        assert!(!mask_of(&out, 2).overlaps(ddio));
+    }
+
+    #[test]
+    fn unaware_layout_keeps_registration_order() {
+        let p = LayoutPlanner::new(11);
+        let out = p.plan(
+            &[input(0, Priority::Be, 2, 999), input(1, Priority::Pc, 2, 1)],
+            2,
+            false,
+            false,
+        );
+        assert_eq!(mask_of(&out, 0), WayMask::contiguous(0, 2).unwrap());
+        assert_eq!(mask_of(&out, 1), WayMask::contiguous(2, 2).unwrap());
+    }
+
+    #[test]
+    fn exclude_ddio_shrinks_to_fit() {
+        // I/O-iso with 11 ways, DDIO top 4: only 7 ways for 4+4 tenants.
+        let p = LayoutPlanner::new(11);
+        let out = p.plan(
+            &[input(0, Priority::Pc, 4, 0), input(1, Priority::Pc, 4, 0)],
+            4,
+            true,
+            true,
+        );
+        let total: u8 = out.iter().map(|pl| pl.mask.count()).sum();
+        assert_eq!(total, 7);
+        let ddio = WayMask::contiguous(7, 4).unwrap();
+        for pl in &out {
+            assert!(!pl.mask.overlaps(ddio), "I/O-iso must not touch DDIO ways");
+        }
+    }
+
+    #[test]
+    fn stack_is_protected_like_pc() {
+        let p = LayoutPlanner::new(11);
+        let out = p.plan(
+            &[
+                input(0, Priority::Stack, 5, 50),
+                input(1, Priority::Be, 6, 10), // forced to overlap
+            ],
+            2,
+            true,
+            false,
+        );
+        let ddio = WayMask::contiguous(9, 2).unwrap();
+        assert!(!mask_of(&out, 0).overlaps(ddio));
+        assert!(mask_of(&out, 1).overlaps(ddio));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the LLC")]
+    fn overcommit_rejected() {
+        let p = LayoutPlanner::new(4);
+        let _ = p.plan(&[input(0, Priority::Pc, 5, 0)], 1, true, false);
+    }
+}

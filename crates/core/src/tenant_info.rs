@@ -1,0 +1,67 @@
+//! Tenant metadata consumed by the Get Tenant Info step.
+
+use iat_cachesim::AgentId;
+use iat_rdt::ClosId;
+use std::fmt;
+
+/// Scheduling priority of a tenant (paper Sec. IV-A).
+///
+/// The paper assumes two tenant priorities plus a special priority for the
+/// aggregation model's software stack (the virtual switch), which is not a
+/// tenant but is tracked like one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Performance-critical: isolated from DDIO's ways as much as possible.
+    Pc,
+    /// Best-effort: the candidate pool for sharing LLC ways with DDIO.
+    Be,
+    /// The centralized I/O software stack (e.g. OVS) in the aggregation
+    /// model.
+    Stack,
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::Pc => write!(f, "PC"),
+            Priority::Be => write!(f, "BE"),
+            Priority::Stack => write!(f, "stack"),
+        }
+    }
+}
+
+/// Everything IAT knows about one tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantInfo {
+    /// Cache-attribution agent (RMID); must match the monitor's spec order.
+    pub agent: AgentId,
+    /// The CAT class of service holding the tenant's mask.
+    pub clos: ClosId,
+    /// Cores the tenant is pinned to.
+    pub cores: Vec<usize>,
+    /// Priority class.
+    pub priority: Priority,
+    /// Whether the workload is I/O ("networking"). Non-I/O tenants may keep
+    /// a device connection (ssh etc.) but do not move bulk traffic.
+    pub is_io: bool,
+    /// Initial number of LLC ways to allocate.
+    pub initial_ways: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Priority::Pc.to_string(), "PC");
+        assert_eq!(Priority::Be.to_string(), "BE");
+        assert_eq!(Priority::Stack.to_string(), "stack");
+    }
+
+    #[test]
+    fn ordering_groups_pc_first() {
+        assert!(Priority::Pc < Priority::Be);
+        assert!(Priority::Be < Priority::Stack);
+    }
+}

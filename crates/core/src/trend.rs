@@ -1,0 +1,85 @@
+//! Trend classification of counter deltas between consecutive intervals.
+
+/// Direction of change of an event between two consecutive intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trend {
+    /// Increased by more than the stability threshold.
+    Up,
+    /// Decreased by more than the stability threshold.
+    Down,
+    /// Within the stability threshold.
+    Stable,
+}
+
+impl Trend {
+    /// Classifies the change from `prev` to `cur` with a relative
+    /// `threshold` (the paper's `THRESHOLD_STABLE`, 3%).
+    ///
+    /// The relative change is computed against `max(prev, 1)` so that a
+    /// transition from zero is classified sensibly.
+    ///
+    /// ```
+    /// use iat::Trend;
+    /// assert_eq!(Trend::classify(100.0, 100.5, 0.03), Trend::Stable);
+    /// assert_eq!(Trend::classify(100.0, 110.0, 0.03), Trend::Up);
+    /// assert_eq!(Trend::classify(100.0, 90.0, 0.03), Trend::Down);
+    /// ```
+    pub fn classify(prev: f64, cur: f64, threshold: f64) -> Trend {
+        Self::classify_with_floor(prev, cur, threshold, 1.0)
+    }
+
+    /// [`Trend::classify`] with an explicit `floor` on the comparison base,
+    /// for metrics whose natural scale is far from 1 — e.g. IPC (≈0.05–4),
+    /// where a floor of 1.0 would hide real 10–20% swings.
+    ///
+    /// ```
+    /// use iat::Trend;
+    /// // A 17% IPC improvement at IPC ~0.07 is a real change:
+    /// assert_eq!(Trend::classify_with_floor(0.072, 0.084, 0.03, 0.01), Trend::Up);
+    /// // ...but the plain counter classifier would miss it:
+    /// assert_eq!(Trend::classify(0.072, 0.084, 0.03), Trend::Stable);
+    /// ```
+    pub fn classify_with_floor(prev: f64, cur: f64, threshold: f64, floor: f64) -> Trend {
+        let base = prev.abs().max(floor);
+        let rel = (cur - prev) / base;
+        if rel > threshold {
+            Trend::Up
+        } else if rel < -threshold {
+            Trend::Down
+        } else {
+            Trend::Stable
+        }
+    }
+
+    /// Returns `true` unless the trend is [`Trend::Stable`].
+    pub fn changed(self) -> bool {
+        self != Trend::Stable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_baseline() {
+        // From zero, any meaningful count is Up.
+        assert_eq!(Trend::classify(0.0, 10.0, 0.03), Trend::Up);
+        assert_eq!(Trend::classify(0.0, 0.0, 0.03), Trend::Stable);
+    }
+
+    #[test]
+    fn symmetric_threshold() {
+        assert_eq!(Trend::classify(1000.0, 1030.0, 0.03), Trend::Stable);
+        assert_eq!(Trend::classify(1000.0, 1031.0, 0.03), Trend::Up);
+        assert_eq!(Trend::classify(1000.0, 970.0, 0.03), Trend::Stable);
+        assert_eq!(Trend::classify(1000.0, 969.0, 0.03), Trend::Down);
+    }
+
+    #[test]
+    fn changed_predicate() {
+        assert!(Trend::Up.changed());
+        assert!(Trend::Down.changed());
+        assert!(!Trend::Stable.changed());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the layout planner — the component whose
+//! invariants IAT's correctness rests on: tenants never share ways with
+//! each other, masks stay contiguous, and DDIO sharing lands on the
+//! intended tenants.
+
+use iat::{LayoutPlanner, PlanInput, Priority};
+use iat_cachesim::{AgentId, WayMask};
+use iat_rdt::ClosId;
+use proptest::prelude::*;
+
+const WAYS: u8 = 11;
+
+fn inputs_strategy() -> impl Strategy<Value = Vec<PlanInput>> {
+    // 1..=5 tenants whose way counts sum to at most WAYS.
+    proptest::collection::vec((1u8..=4, 0u64..1_000_000, 0u8..3), 1..=5).prop_filter_map(
+        "total ways must fit",
+        |raw| {
+            let total: u32 = raw.iter().map(|(w, _, _)| *w as u32).sum();
+            if total > WAYS as u32 {
+                return None;
+            }
+            Some(
+                raw.into_iter()
+                    .enumerate()
+                    .map(|(i, (ways, refs, prio))| PlanInput {
+                        agent: AgentId::new(i as u16),
+                        clos: ClosId::new((i + 1) as u8),
+                        priority: match prio {
+                            0 => Priority::Pc,
+                            1 => Priority::Be,
+                            _ => Priority::Stack,
+                        },
+                        ways,
+                        llc_refs: refs,
+                    })
+                    .collect(),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Structural invariants hold for every input and mode.
+    #[test]
+    fn masks_disjoint_contiguous_right_sized(
+        inputs in inputs_strategy(),
+        ddio_ways in 1u8..=6,
+        ddio_aware in any::<bool>(),
+    ) {
+        let planner = LayoutPlanner::new(WAYS);
+        let out = planner.plan(&inputs, ddio_ways, ddio_aware, false);
+        prop_assert_eq!(out.len(), inputs.len());
+        for (i, p) in out.iter().enumerate() {
+            prop_assert!(p.mask.is_contiguous());
+            prop_assert!(p.mask.fits(WAYS));
+            // Way counts preserved (no silent shrinking without exclude).
+            let want = inputs.iter().find(|t| t.agent == p.agent).expect("same set").ways;
+            prop_assert_eq!(p.mask.count(), want);
+            for q in &out[i + 1..] {
+                prop_assert!(!p.mask.overlaps(q.mask), "tenants must never share ways");
+            }
+        }
+    }
+
+    /// DDIO-aware mode: if any tenant overlaps the DDIO region, then every
+    /// PC/Stack tenant that overlaps is accompanied by *all* BE tenants
+    /// overlapping too (BE absorbs the overlap first).
+    #[test]
+    fn be_absorbs_overlap_first(
+        inputs in inputs_strategy(),
+        ddio_ways in 1u8..=6,
+    ) {
+        let planner = LayoutPlanner::new(WAYS);
+        let out = planner.plan(&inputs, ddio_ways, true, false);
+        let ddio = WayMask::contiguous(WAYS - ddio_ways, ddio_ways).expect("mask");
+        let overlap = |agent: AgentId| {
+            out.iter().find(|p| p.agent == agent).expect("present").mask.overlaps(ddio)
+        };
+        let be: Vec<_> =
+            inputs.iter().filter(|t| t.priority == Priority::Be).map(|t| t.agent).collect();
+        for t in &inputs {
+            if t.priority != Priority::Be && overlap(t.agent) {
+                for &b in &be {
+                    prop_assert!(
+                        overlap(b),
+                        "a non-BE tenant overlapped DDIO while BE {b} did not"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Exclude mode (I/O-iso): nothing touches the DDIO region, ever, and
+    /// every tenant keeps at least one way.
+    #[test]
+    fn exclude_mode_respects_ddio_region(
+        inputs in inputs_strategy(),
+        ddio_ways in 1u8..=6,
+    ) {
+        // Skip inputs that cannot fit below the DDIO region at one way each.
+        prop_assume!(inputs.len() as u32 <= (WAYS - ddio_ways) as u32);
+        let planner = LayoutPlanner::new(WAYS);
+        let out = planner.plan(&inputs, ddio_ways, true, true);
+        let ddio = WayMask::contiguous(WAYS - ddio_ways, ddio_ways).expect("mask");
+        for p in &out {
+            prop_assert!(!p.mask.overlaps(ddio));
+            prop_assert!(p.mask.count() >= 1);
+        }
+    }
+
+    /// Planning is deterministic: same inputs, same output.
+    #[test]
+    fn deterministic(inputs in inputs_strategy(), ddio_ways in 1u8..=6) {
+        let planner = LayoutPlanner::new(WAYS);
+        let a = planner.plan(&inputs, ddio_ways, true, false);
+        let b = planner.plan(&inputs, ddio_ways, true, false);
+        prop_assert_eq!(a, b);
+    }
+}

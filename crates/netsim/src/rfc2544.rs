@@ -1,0 +1,142 @@
+//! RFC 2544 zero-loss throughput search.
+//!
+//! The paper's Fig. 3 runs an RFC 2544 test: find the maximum offered rate
+//! at which *zero* packets are dropped. This module implements the standard
+//! binary search over offered load, parameterized over a probe so any
+//! simulated forwarding setup can be measured.
+
+/// A probe that offers traffic at a given rate and reports loss.
+///
+/// Implementations run the system under test (generator → DMA → forwarding
+/// core) for a trial period at `bits_per_sec` and return the number of
+/// packets lost. Each call must start from equivalent initial conditions
+/// (the searcher assumes trials are independent).
+pub trait ZeroLossProbe {
+    /// Offers load at `bits_per_sec` for one trial; returns packets lost.
+    fn offer(&mut self, bits_per_sec: u64) -> u64;
+}
+
+impl<F: FnMut(u64) -> u64> ZeroLossProbe for F {
+    fn offer(&mut self, bits_per_sec: u64) -> u64 {
+        self(bits_per_sec)
+    }
+}
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rfc2544Config {
+    /// Line rate: the upper bound of the search (bits per second).
+    pub line_rate_bps: u64,
+    /// Lower bound of the search (bits per second).
+    pub min_rate_bps: u64,
+    /// Stop when the search window is narrower than this (bits per second).
+    pub resolution_bps: u64,
+}
+
+impl Default for Rfc2544Config {
+    fn default() -> Self {
+        Rfc2544Config {
+            line_rate_bps: 40_000_000_000,
+            min_rate_bps: 100_000_000,
+            resolution_bps: 200_000_000,
+        }
+    }
+}
+
+/// Result of a zero-loss throughput search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rfc2544Report {
+    /// Highest rate observed with zero loss (bits per second); zero if even
+    /// the minimum rate lost packets.
+    pub zero_loss_bps: u64,
+    /// Number of trials performed.
+    pub trials: u32,
+}
+
+/// Runs the binary search for the maximum zero-loss rate.
+///
+/// # Panics
+///
+/// Panics if the configuration window is empty
+/// (`min_rate_bps > line_rate_bps`) or `resolution_bps` is zero.
+pub fn rfc2544_search<P: ZeroLossProbe>(probe: &mut P, config: Rfc2544Config) -> Rfc2544Report {
+    assert!(config.min_rate_bps <= config.line_rate_bps, "empty search window");
+    assert!(config.resolution_bps > 0, "resolution must be positive");
+    let mut trials = 0u32;
+
+    // Fast paths: line rate passes, or the minimum rate already fails.
+    trials += 1;
+    if probe.offer(config.line_rate_bps) == 0 {
+        return Rfc2544Report { zero_loss_bps: config.line_rate_bps, trials };
+    }
+    trials += 1;
+    if probe.offer(config.min_rate_bps) > 0 {
+        return Rfc2544Report { zero_loss_bps: 0, trials };
+    }
+
+    let (mut lo, mut hi) = (config.min_rate_bps, config.line_rate_bps);
+    while hi - lo > config.resolution_bps {
+        let mid = lo + (hi - lo) / 2;
+        trials += 1;
+        if probe.offer(mid) == 0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Rfc2544Report { zero_loss_bps: lo, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic system that drops iff offered rate exceeds its capacity.
+    fn threshold_probe(capacity: u64) -> impl FnMut(u64) -> u64 {
+        move |rate| rate.saturating_sub(capacity)
+    }
+
+    #[test]
+    fn finds_threshold() {
+        let mut p = threshold_probe(17_300_000_000);
+        let r = rfc2544_search(
+            &mut p,
+            Rfc2544Config {
+                line_rate_bps: 40_000_000_000,
+                min_rate_bps: 1_000_000_000,
+                resolution_bps: 100_000_000,
+            },
+        );
+        let err = (r.zero_loss_bps as i64 - 17_300_000_000i64).abs();
+        assert!(err <= 100_000_000, "found {} expected ~17.3G", r.zero_loss_bps);
+    }
+
+    #[test]
+    fn line_rate_fast_path() {
+        let mut p = threshold_probe(u64::MAX);
+        let r = rfc2544_search(&mut p, Rfc2544Config::default());
+        assert_eq!(r.zero_loss_bps, 40_000_000_000);
+        assert_eq!(r.trials, 1);
+    }
+
+    #[test]
+    fn hopeless_system_reports_zero() {
+        let mut p = threshold_probe(0);
+        let r = rfc2544_search(
+            &mut p,
+            Rfc2544Config { min_rate_bps: 1_000, ..Rfc2544Config::default() },
+        );
+        assert_eq!(r.zero_loss_bps, 0);
+    }
+
+    #[test]
+    fn monotone_in_capacity() {
+        let caps = [2_000_000_000u64, 8_000_000_000, 32_000_000_000];
+        let mut found = Vec::new();
+        for &c in &caps {
+            let mut p = threshold_probe(c);
+            found.push(rfc2544_search(&mut p, Rfc2544Config::default()).zero_loss_bps);
+        }
+        assert!(found[0] < found[1] && found[1] < found[2]);
+    }
+}

@@ -1,0 +1,314 @@
+//! Deterministic traffic generators.
+
+use crate::{line_rate_pps, FlowId};
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distribution of flow ids across generated packets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowDist {
+    /// All packets belong to one flow (the paper's single-flow line-rate
+    /// microbenchmarks).
+    Single(FlowId),
+    /// Flow ids drawn uniformly from `0..count` (the paper's 1M-flow
+    /// l3fwd table and the Fig. 9 flow sweep).
+    Uniform {
+        /// Number of distinct flows.
+        count: u32,
+    },
+    /// Flow ids drawn from a Zipf distribution over `0..count` with
+    /// exponent `s` (YCSB's 0.99-Zipfian key popularity).
+    Zipf {
+        /// Number of distinct flows.
+        count: u32,
+        /// Zipf exponent.
+        s: f64,
+    },
+}
+
+/// Temporal shape of the traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficPattern {
+    /// Constant offered load.
+    Constant,
+    /// On/off bursts: `on_fraction` of each period at `burst_scale`× the
+    /// nominal rate, silent otherwise (mean rate is preserved when
+    /// `burst_scale * on_fraction == 1`).
+    Bursty {
+        /// Fraction of time in the on-phase, `(0, 1]`.
+        on_fraction: f64,
+        /// Rate multiplier during the on-phase.
+        burst_scale: f64,
+        /// Burst period in nanoseconds.
+        period_ns: u64,
+    },
+}
+
+/// One epoch's worth of generated packets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PacketBatch {
+    /// Flow id per packet, in arrival order.
+    pub flows: Vec<FlowId>,
+    /// Packet size in bytes (uniform within a batch).
+    pub size: u32,
+}
+
+impl PacketBatch {
+    /// Number of packets in the batch.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Returns `true` if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+}
+
+/// A deterministic traffic generator for one port/VF.
+///
+/// Rates are expressed in bits per second of *payload+header* (packet
+/// bytes); wire overhead is accounted per [`line_rate_pps`]. The generator
+/// carries fractional-packet residue across epochs so long-run rates are
+/// exact.
+///
+/// ```
+/// use iat_netsim::{TrafficGen, FlowDist, TrafficPattern, FlowId};
+/// let mut gen = TrafficGen::new(40_000_000_000, 64, FlowDist::Single(FlowId(0)),
+///                               TrafficPattern::Constant, 42);
+/// let batch = gen.generate(1_000_000); // 1 ms
+/// // 40 Gb/s of 64 B packets is ~59.5 Mpps -> ~59 500 packets per ms.
+/// assert!((batch.len() as f64 - 59_500.0).abs() < 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficGen {
+    bits_per_sec: u64,
+    packet_bytes: u32,
+    dist: FlowDist,
+    pattern: TrafficPattern,
+    rng: StdRng,
+    residue: f64,
+    elapsed_ns: u64,
+    /// Precomputed Zipf CDF, when `dist` is Zipf.
+    zipf_cdf: Vec<f64>,
+}
+
+impl TrafficGen {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_bytes` is zero, or if a Zipf distribution has
+    /// `count == 0`.
+    pub fn new(
+        bits_per_sec: u64,
+        packet_bytes: u32,
+        dist: FlowDist,
+        pattern: TrafficPattern,
+        seed: u64,
+    ) -> Self {
+        assert!(packet_bytes > 0, "packet size must be positive");
+        let zipf_cdf = match &dist {
+            FlowDist::Zipf { count, s } => {
+                assert!(*count > 0, "zipf flow count must be positive");
+                let mut weights: Vec<f64> =
+                    (1..=*count).map(|k| 1.0 / (k as f64).powf(*s)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in &mut weights {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                weights
+            }
+            _ => Vec::new(),
+        };
+        TrafficGen {
+            bits_per_sec,
+            packet_bytes,
+            dist,
+            pattern,
+            rng: StdRng::seed_from_u64(seed),
+            residue: 0.0,
+            elapsed_ns: 0,
+            zipf_cdf,
+        }
+    }
+
+    /// Packet size in bytes.
+    pub fn packet_bytes(&self) -> u32 {
+        self.packet_bytes
+    }
+
+    /// Offered rate in packets per second (long-run mean).
+    pub fn pps(&self) -> f64 {
+        line_rate_pps(self.bits_per_sec, self.packet_bytes)
+    }
+
+    /// Changes the offered rate (for RFC 2544 searches and phase changes).
+    pub fn set_rate(&mut self, bits_per_sec: u64) {
+        self.bits_per_sec = bits_per_sec;
+    }
+
+    /// Replaces the flow distribution (phase changes, Fig. 9 sweep).
+    pub fn set_flow_dist(&mut self, dist: FlowDist) {
+        *self = TrafficGen::new(
+            self.bits_per_sec,
+            self.packet_bytes,
+            dist,
+            self.pattern,
+            self.rng.gen(),
+        );
+    }
+
+    fn rate_multiplier(&self) -> f64 {
+        match self.pattern {
+            TrafficPattern::Constant => 1.0,
+            TrafficPattern::Bursty { on_fraction, burst_scale, period_ns } => {
+                let phase = (self.elapsed_ns % period_ns) as f64 / period_ns as f64;
+                if phase < on_fraction {
+                    burst_scale
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    fn sample_flow(&mut self) -> FlowId {
+        match &self.dist {
+            FlowDist::Single(f) => *f,
+            FlowDist::Uniform { count } => {
+                if *count <= 1 {
+                    FlowId(0)
+                } else {
+                    FlowId(rand::distributions::Uniform::new(0, *count).sample(&mut self.rng))
+                }
+            }
+            FlowDist::Zipf { .. } => {
+                let u: f64 = self.rng.gen();
+                let idx = self.zipf_cdf.partition_point(|&c| c < u);
+                FlowId(idx as u32)
+            }
+        }
+    }
+
+    /// Generates the packets arriving during the next `duration_ns`
+    /// nanoseconds.
+    pub fn generate(&mut self, duration_ns: u64) -> PacketBatch {
+        let mult = self.rate_multiplier();
+        self.elapsed_ns += duration_ns;
+        let exact = self.pps() * mult * duration_ns as f64 / 1e9 + self.residue;
+        let count = exact.floor() as usize;
+        self.residue = exact - count as f64;
+        let mut flows = Vec::with_capacity(count);
+        for _ in 0..count {
+            let f = self.sample_flow();
+            flows.push(f);
+        }
+        PacketBatch { flows, size: self.packet_bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_exact_long_run() {
+        let mut g = TrafficGen::new(
+            10_000_000_000,
+            1500,
+            FlowDist::Single(FlowId(0)),
+            TrafficPattern::Constant,
+            1,
+        );
+        let mut total = 0usize;
+        for _ in 0..1000 {
+            total += g.generate(1_000_000).len();
+        }
+        let expect = g.pps(); // one second total
+        assert!((total as f64 - expect).abs() / expect < 0.001, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn uniform_flows_cover_space() {
+        let mut g = TrafficGen::new(
+            40_000_000_000,
+            64,
+            FlowDist::Uniform { count: 16 },
+            TrafficPattern::Constant,
+            7,
+        );
+        let batch = g.generate(100_000);
+        let mut seen = std::collections::HashSet::new();
+        for f in &batch.flows {
+            assert!(f.0 < 16);
+            seen.insert(f.0);
+        }
+        assert!(seen.len() >= 12, "uniform flows should cover most of the space");
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut g = TrafficGen::new(
+            40_000_000_000,
+            64,
+            FlowDist::Zipf { count: 1000, s: 0.99 },
+            TrafficPattern::Constant,
+            11,
+        );
+        let batch = g.generate(1_000_000);
+        let hot = batch.flows.iter().filter(|f| f.0 < 10).count();
+        // Under 0.99-Zipf the top 10 of 1000 keys get >25% of accesses.
+        assert!(hot as f64 / batch.len() as f64 > 0.25);
+    }
+
+    #[test]
+    fn bursty_mean_rate_preserved() {
+        let mut g = TrafficGen::new(
+            10_000_000_000,
+            64,
+            FlowDist::Single(FlowId(0)),
+            TrafficPattern::Bursty { on_fraction: 0.25, burst_scale: 4.0, period_ns: 1_000_000 },
+            3,
+        );
+        let mut total = 0usize;
+        for _ in 0..4000 {
+            total += g.generate(250_000).len(); // quarter-period steps
+        }
+        let expect = g.pps(); // one second total
+        assert!((total as f64 - expect).abs() / expect < 0.01, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn bursty_has_silent_phases() {
+        let mut g = TrafficGen::new(
+            10_000_000_000,
+            64,
+            FlowDist::Single(FlowId(0)),
+            TrafficPattern::Bursty { on_fraction: 0.5, burst_scale: 2.0, period_ns: 1_000_000 },
+            3,
+        );
+        let on = g.generate(500_000).len();
+        let off = g.generate(500_000).len();
+        assert!(on > 0);
+        assert!(off <= 1, "off-phase should be silent, got {off}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            TrafficGen::new(
+                1_000_000_000,
+                256,
+                FlowDist::Uniform { count: 100 },
+                TrafficPattern::Constant,
+                99,
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        assert_eq!(a.generate(1_000_000), b.generate(1_000_000));
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-core fixed counters: instructions retired and core cycles.
+
+/// One core's fixed counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreCounters {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Unhalted core cycles.
+    pub cycles: u64,
+}
+
+impl CoreCounters {
+    /// Instructions per cycle; zero when no cycles have elapsed.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The socket's per-core counter bank.
+///
+/// The platform layer calls [`CounterBank::retire`] as workloads execute;
+/// the monitor reads the accumulated values. Counters are monotonic, like
+/// the hardware's.
+#[derive(Debug, Clone)]
+pub struct CounterBank {
+    cores: Vec<CoreCounters>,
+}
+
+impl CounterBank {
+    /// Creates a zeroed bank for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        CounterBank { cores: vec![CoreCounters::default(); cores] }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Credits `instructions` retired over `cycles` cycles to `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn retire(&mut self, core: usize, instructions: u64, cycles: u64) {
+        let c = &mut self.cores[core];
+        c.instructions += instructions;
+        c.cycles += cycles;
+    }
+
+    /// Reads one core's counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core(&self, core: usize) -> CoreCounters {
+        self.cores[core]
+    }
+
+    /// Sums counters over a set of cores (a tenant's view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any core index is out of range.
+    pub fn aggregate<'a, I: IntoIterator<Item = &'a usize>>(&self, cores: I) -> CoreCounters {
+        let mut total = CoreCounters::default();
+        for &c in cores {
+            total.instructions += self.cores[c].instructions;
+            total.cycles += self.cores[c].cycles;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retire_accumulates() {
+        let mut b = CounterBank::new(2);
+        b.retire(0, 100, 200);
+        b.retire(0, 50, 100);
+        assert_eq!(b.core(0), CoreCounters { instructions: 150, cycles: 300 });
+        assert_eq!(b.core(1), CoreCounters::default());
+    }
+
+    #[test]
+    fn ipc_zero_cycles() {
+        assert_eq!(CoreCounters::default().ipc(), 0.0);
+        let c = CoreCounters { instructions: 300, cycles: 100 };
+        assert!((c.ipc() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_over_cores() {
+        let mut b = CounterBank::new(3);
+        b.retire(0, 10, 20);
+        b.retire(2, 30, 40);
+        let t = b.aggregate(&[0, 2]);
+        assert_eq!(t, CoreCounters { instructions: 40, cycles: 60 });
+    }
+}

@@ -1,0 +1,88 @@
+//! Cost model for counter reads and register writes.
+//!
+//! The paper's Fig. 15 measures the IAT daemon's per-iteration execution
+//! time and finds it dominated by the Poll Prof Data step, because every
+//! counter read from user space crosses into the kernel (the `msr` module)
+//! — a context switch per `rdmsr`. State Transition is branches, and LLC
+//! Re-alloc is "fewer than five register writes". This model captures those
+//! relative costs so the overhead experiment reproduces the paper's shape:
+//! sub-linear growth in the number of monitored cores, cheaper per-core for
+//! multi-core tenants (per-tenant setup is amortized).
+
+/// Nanosecond costs of monitoring and control primitives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost per monitored tenant per poll (bookkeeping, group setup).
+    pub per_tenant_ns: f64,
+    /// Cost of reading one core's event set (IPC + LLC ref/miss: several
+    /// `rdmsr`s plus the user/kernel crossing).
+    pub per_core_read_ns: f64,
+    /// Cost of reading the sampled CHA's DDIO hit+miss counters.
+    pub uncore_read_ns: f64,
+    /// Cost of one control-register write (`wrmsr`: CAT CBM, CLOS
+    /// association, or the DDIO ways register).
+    pub msr_write_ns: f64,
+    /// Cost of one FSM evaluation (branches and comparisons).
+    pub fsm_eval_ns: f64,
+}
+
+impl CostModel {
+    /// Time to poll `tenant_core_counts` (cores per tenant) plus the uncore.
+    pub fn poll_ns(&self, tenant_core_counts: &[usize]) -> f64 {
+        let tenants = tenant_core_counts.len() as f64;
+        let cores: usize = tenant_core_counts.iter().sum();
+        tenants * self.per_tenant_ns + cores as f64 * self.per_core_read_ns + self.uncore_read_ns
+    }
+
+    /// Time for a re-allocation applying `register_writes` writes.
+    pub fn realloc_ns(&self, register_writes: u64) -> f64 {
+        register_writes as f64 * self.msr_write_ns
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Calibrated to land in the paper's reported envelope: polling a
+        // dozen cores costs hundreds of microseconds, never exceeding
+        // ~800 us; a realloc is a few microseconds.
+        CostModel {
+            per_tenant_ns: 9_000.0,
+            per_core_read_ns: 38_000.0,
+            uncore_read_ns: 15_000.0,
+            msr_write_ns: 1_300.0,
+            fsm_eval_ns: 400.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_scales_with_cores_and_tenants() {
+        let m = CostModel::default();
+        let one = m.poll_ns(&[1]);
+        let two_tenants = m.poll_ns(&[1, 1]);
+        let one_tenant_two_cores = m.poll_ns(&[2]);
+        assert!(two_tenants > one);
+        // Same core count, fewer tenants => cheaper (amortized setup).
+        assert!(one_tenant_two_cores < two_tenants);
+    }
+
+    #[test]
+    fn paper_envelope() {
+        // 16 tenants x 1 core stays under the paper's 800 us ceiling.
+        let m = CostModel::default();
+        let ns = m.poll_ns(&vec![1; 16]);
+        assert!(ns < 800_000.0, "poll cost {ns} ns exceeds paper envelope");
+        // And is non-trivial (at least tens of microseconds).
+        assert!(ns > 50_000.0);
+    }
+
+    #[test]
+    fn realloc_is_cheap() {
+        let m = CostModel::default();
+        assert!(m.realloc_ns(5) < m.poll_ns(&[1]));
+    }
+}

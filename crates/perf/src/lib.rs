@@ -1,0 +1,47 @@
+//! # iat-perf
+//!
+//! The performance-monitoring layer of the IAT reproduction: everything the
+//! paper's daemon observes, it observes through this crate.
+//!
+//! The paper's IAT polls three groups of hardware events (Sec. IV-B):
+//!
+//! * **IPC** per tenant — from per-core instruction/cycle counters,
+//!   aggregated over the tenant's cores;
+//! * **LLC reference and miss** per tenant — the CMT view;
+//! * **DDIO hit and miss** — chip-wide, from one slice's CHA counters
+//!   multiplied by the slice count (Sec. V, "Profiling and monitoring").
+//!
+//! This crate models those counters over the [`iat_cachesim`] substrate and
+//! additionally models the *cost* of reading them (`rdmsr` + context
+//! switch), which is what the paper's overhead study (Fig. 15) measures.
+//!
+//! # Example
+//!
+//! ```
+//! use iat_perf::{CounterBank, Monitor, MonitorSpec, TenantSpec, DdioSampleMode};
+//! use iat_cachesim::{AgentId, CacheGeometry, Llc};
+//!
+//! let llc = Llc::new(CacheGeometry::tiny());
+//! let mut bank = CounterBank::new(2);
+//! bank.retire(0, 1_000, 2_000); // 1000 instructions in 2000 cycles
+//!
+//! let spec = MonitorSpec {
+//!     tenants: vec![TenantSpec { agent: AgentId::new(0), cores: vec![0] }],
+//! };
+//! let monitor = Monitor::new(spec, DdioSampleMode::OneSlice(0));
+//! let poll = monitor.poll(&llc, &bank);
+//! assert!((poll.tenants[0].ipc() - 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod cost;
+mod monitor;
+mod window;
+
+pub use bank::{CoreCounters, CounterBank};
+pub use cost::CostModel;
+pub use monitor::{DdioSampleMode, Monitor, MonitorSpec, Poll, SystemSample, TenantSample, TenantSpec};
+pub use window::{DeltaWindow, IntervalDeltas, SystemDelta, TenantDelta};

@@ -1,0 +1,200 @@
+//! Delta windows: turning cumulative counters into per-interval deltas.
+
+use crate::monitor::{Poll, SystemSample, TenantSample};
+use iat_cachesim::AgentId;
+
+/// Per-tenant deltas between two consecutive polls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantDelta {
+    /// Agent the delta belongs to.
+    pub agent: AgentId,
+    /// IPC over the interval.
+    pub ipc: f64,
+    /// LLC references during the interval.
+    pub llc_references: u64,
+    /// LLC misses during the interval.
+    pub llc_misses: u64,
+}
+
+impl TenantDelta {
+    /// LLC miss rate over the interval, in `[0,1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.llc_references == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / self.llc_references as f64
+        }
+    }
+}
+
+/// System-wide deltas between two consecutive polls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SystemDelta {
+    /// DDIO hits during the interval.
+    pub ddio_hits: u64,
+    /// DDIO misses during the interval.
+    pub ddio_misses: u64,
+    /// Bytes read from memory during the interval.
+    pub mem_read_bytes: u64,
+    /// Bytes written to memory during the interval.
+    pub mem_write_bytes: u64,
+}
+
+/// Deltas for one interval: what IAT's Poll Prof Data step reasons about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalDeltas {
+    /// Per-tenant deltas (order follows the poll's tenant order).
+    pub tenants: Vec<TenantDelta>,
+    /// System-wide deltas.
+    pub system: SystemDelta,
+}
+
+/// Keeps the previous poll and produces per-interval deltas.
+///
+/// ```
+/// use iat_perf::{CounterBank, DdioSampleMode, DeltaWindow, Monitor, MonitorSpec};
+/// use iat_cachesim::{CacheGeometry, Llc};
+///
+/// let llc = Llc::new(CacheGeometry::tiny());
+/// let mut bank = CounterBank::new(1);
+/// let monitor = Monitor::new(MonitorSpec::default(), DdioSampleMode::AllSlices);
+/// let mut window = DeltaWindow::new();
+///
+/// // The first poll primes the window.
+/// assert!(window.advance(monitor.poll(&llc, &bank)).is_none());
+/// bank.retire(0, 10, 20);
+/// assert!(window.advance(monitor.poll(&llc, &bank)).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeltaWindow {
+    last: Option<Poll>,
+}
+
+impl DeltaWindow {
+    /// Creates an empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` once a baseline poll has been recorded.
+    pub fn is_primed(&self) -> bool {
+        self.last.is_some()
+    }
+
+    /// Clears the baseline (e.g. after a tenant change invalidates history).
+    pub fn reset(&mut self) {
+        self.last = None;
+    }
+
+    /// Feeds the next cumulative poll; returns deltas vs. the previous one,
+    /// or `None` on the first (priming) call or when the tenant set changed.
+    pub fn advance(&mut self, poll: Poll) -> Option<IntervalDeltas> {
+        let prev = self.last.replace(poll);
+        let prev = prev?;
+        let cur = self.last.as_ref().expect("just inserted");
+        if prev.tenants.len() != cur.tenants.len()
+            || prev
+                .tenants
+                .iter()
+                .zip(&cur.tenants)
+                .any(|(a, b)| a.agent != b.agent)
+        {
+            return None;
+        }
+        let tenants = prev
+            .tenants
+            .iter()
+            .zip(&cur.tenants)
+            .map(|(p, c)| delta_tenant(p, c))
+            .collect();
+        Some(IntervalDeltas { tenants, system: delta_system(&prev.system, &cur.system) })
+    }
+}
+
+fn delta_tenant(prev: &TenantSample, cur: &TenantSample) -> TenantDelta {
+    let instr = cur.core.instructions.saturating_sub(prev.core.instructions);
+    let cycles = cur.core.cycles.saturating_sub(prev.core.cycles);
+    TenantDelta {
+        agent: cur.agent,
+        ipc: if cycles == 0 { 0.0 } else { instr as f64 / cycles as f64 },
+        llc_references: cur.llc_references.saturating_sub(prev.llc_references),
+        llc_misses: cur.llc_misses.saturating_sub(prev.llc_misses),
+    }
+}
+
+fn delta_system(prev: &SystemSample, cur: &SystemSample) -> SystemDelta {
+    SystemDelta {
+        ddio_hits: cur.ddio_hits.saturating_sub(prev.ddio_hits),
+        ddio_misses: cur.ddio_misses.saturating_sub(prev.ddio_misses),
+        mem_read_bytes: cur.mem_read_bytes.saturating_sub(prev.mem_read_bytes),
+        mem_write_bytes: cur.mem_write_bytes.saturating_sub(prev.mem_write_bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::CoreCounters;
+
+    fn sample(agent: u16, instr: u64, cycles: u64, refs: u64, misses: u64) -> TenantSample {
+        TenantSample {
+            agent: AgentId::new(agent),
+            core: CoreCounters { instructions: instr, cycles },
+            llc_references: refs,
+            llc_misses: misses,
+        }
+    }
+
+    fn poll(tenants: Vec<TenantSample>, hits: u64, misses: u64) -> Poll {
+        Poll {
+            tenants,
+            system: SystemSample {
+                ddio_hits: hits,
+                ddio_misses: misses,
+                mem_read_bytes: 0,
+                mem_write_bytes: 0,
+            },
+            cost_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn first_poll_primes() {
+        let mut w = DeltaWindow::new();
+        assert!(!w.is_primed());
+        assert!(w.advance(poll(vec![], 0, 0)).is_none());
+        assert!(w.is_primed());
+    }
+
+    #[test]
+    fn deltas_computed() {
+        let mut w = DeltaWindow::new();
+        w.advance(poll(vec![sample(0, 100, 200, 10, 5)], 1, 2));
+        let d = w.advance(poll(vec![sample(0, 400, 400, 30, 10)], 11, 4)).unwrap();
+        assert!((d.tenants[0].ipc - 1.5).abs() < 1e-12); // (400-100)/(400-200)
+        assert_eq!(d.tenants[0].llc_references, 20);
+        assert_eq!(d.tenants[0].llc_misses, 5);
+        assert!((d.tenants[0].miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(d.system.ddio_hits, 10);
+        assert_eq!(d.system.ddio_misses, 2);
+    }
+
+    #[test]
+    fn tenant_set_change_invalidates_window() {
+        let mut w = DeltaWindow::new();
+        w.advance(poll(vec![sample(0, 1, 1, 0, 0)], 0, 0));
+        // Different agent in slot 0: no deltas.
+        assert!(w.advance(poll(vec![sample(1, 2, 2, 0, 0)], 0, 0)).is_none());
+        // But the new poll becomes the baseline.
+        assert!(w.advance(poll(vec![sample(1, 4, 4, 0, 0)], 0, 0)).is_some());
+    }
+
+    #[test]
+    fn reset_clears_baseline() {
+        let mut w = DeltaWindow::new();
+        w.advance(poll(vec![], 0, 0));
+        w.reset();
+        assert!(!w.is_primed());
+        assert!(w.advance(poll(vec![], 0, 0)).is_none());
+    }
+}

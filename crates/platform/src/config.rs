@@ -1,0 +1,106 @@
+//! Platform configuration (the paper's Table I, plus simulation knobs).
+
+use iat_cachesim::{CacheGeometry, LatencyModel};
+
+/// Configuration of the simulated socket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformConfig {
+    /// Number of cores (Table I: 18).
+    pub cores: usize,
+    /// Core frequency in GHz (Table I: 2.3, Turbo/HT disabled).
+    pub freq_ghz: f64,
+    /// LLC geometry (Table I: 11-way, 24.75 MB, 18 slices).
+    pub llc: CacheGeometry,
+    /// Per-core L2 geometry (Table I: 16-way, 1 MB).
+    pub l2: CacheGeometry,
+    /// Access latency model.
+    pub latency: LatencyModel,
+    /// Epoch length in *modelled* nanoseconds.
+    pub epoch_ns: u64,
+    /// Fidelity divisor `S`: budgets and traffic per epoch are divided by
+    /// this (see the crate docs). 1 = full fidelity.
+    pub time_scale: u64,
+    /// Sub-slices per epoch: DMA delivery and core execution interleave at
+    /// this granularity, bounding artificial burstiness to
+    /// `epoch / chunks`.
+    pub chunks: u32,
+}
+
+impl PlatformConfig {
+    /// The paper's testbed socket (Table I) at the default fidelity.
+    pub fn xeon_6140() -> Self {
+        PlatformConfig {
+            cores: 18,
+            freq_ghz: 2.3,
+            llc: CacheGeometry::xeon_6140_llc(),
+            l2: CacheGeometry::xeon_6140_l2(),
+            latency: LatencyModel::default(),
+            epoch_ns: 10_000_000, // 10 ms
+            time_scale: 100,
+            chunks: 8,
+        }
+    }
+
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        PlatformConfig {
+            cores: 4,
+            freq_ghz: 2.3,
+            llc: CacheGeometry::tiny(),
+            l2: CacheGeometry::new(2, 8, 1).expect("valid geometry"),
+            latency: LatencyModel::default(),
+            epoch_ns: 1_000_000, // 1 ms
+            time_scale: 1000,
+            chunks: 2,
+        }
+    }
+
+    /// Per-core cycle budget for one epoch after time scaling.
+    pub fn cycle_budget(&self) -> u64 {
+        (self.freq_ghz * self.epoch_ns as f64 / self.time_scale as f64) as u64
+    }
+
+    /// The slice of modelled time actually simulated per epoch
+    /// (`epoch_ns / time_scale`), which is what traffic generators are
+    /// advanced by.
+    pub fn scaled_epoch_ns(&self) -> u64 {
+        self.epoch_ns / self.time_scale
+    }
+
+    /// Scales a real-hardware rate (events per second) into the simulated
+    /// clock, for thresholds like the paper's `THRESHOLD_MISS_LOW = 1M/s`.
+    pub fn scale_rate(&self, per_second: f64) -> f64 {
+        per_second / self.time_scale as f64
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self::xeon_6140()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_budget() {
+        let c = PlatformConfig::xeon_6140();
+        // 2.3 GHz x 10 ms / 100 = 230_000 cycles.
+        assert_eq!(c.cycle_budget(), 230_000);
+        assert_eq!(c.scaled_epoch_ns(), 100_000);
+    }
+
+    #[test]
+    fn full_fidelity_budget() {
+        let c = PlatformConfig { time_scale: 1, ..PlatformConfig::xeon_6140() };
+        assert_eq!(c.cycle_budget(), 23_000_000);
+    }
+
+    #[test]
+    fn rate_scaling() {
+        let c = PlatformConfig::xeon_6140();
+        assert!((c.scale_rate(1e6) - 1e4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,419 @@
+//! The epoch-driven platform stepper.
+
+use crate::config::PlatformConfig;
+use crate::tenant::{Tenant, TenantId};
+use iat_cachesim::{Llc, MemoryHierarchy};
+use iat_perf::{CounterBank, MonitorSpec, TenantSpec};
+use iat_rdt::Rdt;
+use iat_workloads::{Channels, ExecCtx, WorkloadMetrics};
+
+/// What happened during one epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochReport {
+    /// Modelled time at the end of the epoch, in nanoseconds.
+    pub time_ns: u64,
+    /// Packets DMA-delivered into Rx rings this epoch.
+    pub packets_delivered: u64,
+    /// Packets dropped at full Rx rings this epoch.
+    pub packets_dropped: u64,
+}
+
+/// The simulated server: hierarchy + RDT + counters + tenants.
+///
+/// # Example
+///
+/// ```
+/// use iat_platform::{Platform, PlatformConfig, Tenant, TenantId};
+/// use iat_cachesim::AgentId;
+/// use iat_rdt::ClosId;
+/// use iat_workloads::XMem;
+///
+/// let mut p = Platform::new(PlatformConfig::tiny());
+/// p.add_tenant(Tenant {
+///     id: TenantId(0),
+///     name: "xmem".into(),
+///     agent: AgentId::new(0),
+///     cores: vec![0],
+///     clos: ClosId::new(1),
+///     workload: Box::new(XMem::new(0x1000_0000, 8192, 7)),
+///     bindings: vec![],
+/// });
+/// p.run_epochs(5);
+/// assert!(p.metrics_of(TenantId(0)).ops > 0);
+/// ```
+pub struct Platform {
+    config: PlatformConfig,
+    hierarchy: MemoryHierarchy,
+    rdt: Rdt,
+    bank: CounterBank,
+    channels: Channels,
+    tenants: Vec<Tenant>,
+    time_ns: u64,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("config", &self.config)
+            .field("tenants", &self.tenants)
+            .field("time_ns", &self.time_ns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Platform {
+    /// Creates an empty platform.
+    pub fn new(config: PlatformConfig) -> Self {
+        Platform {
+            config,
+            hierarchy: MemoryHierarchy::new(config.llc, config.l2, config.cores, config.latency),
+            rdt: Rdt::new(config.llc.ways(), config.cores),
+            bank: CounterBank::new(config.cores),
+            channels: Channels::new(),
+            tenants: Vec::new(),
+            time_ns: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Registers a tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant's id or agent collides with an existing one, or
+    /// if a core index is out of range.
+    pub fn add_tenant(&mut self, tenant: Tenant) {
+        assert!(
+            self.tenants.iter().all(|t| t.id != tenant.id),
+            "duplicate tenant id {}",
+            tenant.id
+        );
+        assert!(
+            self.tenants.iter().all(|t| t.agent != tenant.agent),
+            "duplicate agent {}",
+            tenant.agent
+        );
+        for &c in &tenant.cores {
+            assert!(c < self.config.cores, "core {c} out of range");
+        }
+        self.tenants.push(tenant);
+    }
+
+    /// Removes a tenant, returning it (tenant departure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such tenant exists.
+    pub fn remove_tenant(&mut self, id: TenantId) -> Tenant {
+        let idx = self
+            .tenants
+            .iter()
+            .position(|t| t.id == id)
+            .unwrap_or_else(|| panic!("no tenant {id}"));
+        self.tenants.remove(idx)
+    }
+
+    /// Immutable access to a tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such tenant exists.
+    pub fn tenant(&self, id: TenantId) -> &Tenant {
+        self.tenants.iter().find(|t| t.id == id).unwrap_or_else(|| panic!("no tenant {id}"))
+    }
+
+    /// Mutable access to a tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such tenant exists.
+    pub fn tenant_mut(&mut self, id: TenantId) -> &mut Tenant {
+        self.tenants.iter_mut().find(|t| t.id == id).unwrap_or_else(|| panic!("no tenant {id}"))
+    }
+
+    /// All tenants, in registration order.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// The shared LLC.
+    pub fn llc(&self) -> &Llc {
+        self.hierarchy.llc()
+    }
+
+    /// The memory hierarchy.
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// Mutable memory hierarchy (for substrate-level experiment setup).
+    pub fn hierarchy_mut(&mut self) -> &mut MemoryHierarchy {
+        &mut self.hierarchy
+    }
+
+    /// The per-core counter bank.
+    pub fn bank(&self) -> &CounterBank {
+        &self.bank
+    }
+
+    /// The RDT register file.
+    pub fn rdt(&self) -> &Rdt {
+        &self.rdt
+    }
+
+    /// Mutable RDT register file (the management plane: IAT or a baseline).
+    pub fn rdt_mut(&mut self) -> &mut Rdt {
+        &mut self.rdt
+    }
+
+    /// The inter-workload channels.
+    pub fn channels(&self) -> &Channels {
+        &self.channels
+    }
+
+    /// Mutable channels (for scenario wiring).
+    pub fn channels_mut(&mut self) -> &mut Channels {
+        &mut self.channels
+    }
+
+    /// Modelled time in nanoseconds.
+    pub fn time_ns(&self) -> u64 {
+        self.time_ns
+    }
+
+    /// Modelled time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_ns as f64 / 1e9
+    }
+
+    /// A monitor spec covering all tenants, in registration order.
+    pub fn monitor_spec(&self) -> MonitorSpec {
+        MonitorSpec {
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| TenantSpec { agent: t.agent, cores: t.cores.clone() })
+                .collect(),
+        }
+    }
+
+    /// Application metrics of one tenant's workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such tenant exists.
+    pub fn metrics_of(&self, id: TenantId) -> WorkloadMetrics {
+        self.tenant(id).workload.metrics()
+    }
+
+    /// Advances the platform by one epoch.
+    ///
+    /// The epoch is executed in [`PlatformConfig::chunks`] sub-slices, each
+    /// delivering a fraction of the epoch's traffic, running every tenant
+    /// core for a fraction of its budget, then draining Tx rings. The
+    /// chunking interleaves producer (DMA) and consumer (core) at finer
+    /// than epoch granularity, so ring-depth effects (drops, backlog) are
+    /// governed by sustained rates rather than epoch-sized bursts.
+    pub fn step_epoch(&mut self) -> EpochReport {
+        let chunks = self.config.chunks.max(1) as u64;
+        let dt = self.config.scaled_epoch_ns() / chunks;
+        let budget = self.config.cycle_budget() / chunks;
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+
+        for _ in 0..chunks {
+            let ddio = self.rdt.ddio_mask();
+
+            // Phase 1: inbound DMA through DDIO.
+            for t in &mut self.tenants {
+                for b in &mut t.bindings {
+                    let batch = b.gen.generate(dt);
+                    let ports = t.workload.ports_mut();
+                    assert!(b.port < ports.len(), "binding port out of range");
+                    let port = &mut ports[b.port];
+                    let before_drops = port.dma.rx_dropped;
+                    let accepted =
+                        port.dma.rx_batch(&mut self.hierarchy, ddio, &mut port.rx, &batch) as u64;
+                    delivered += accepted;
+                    dropped += port.dma.rx_dropped - before_drops;
+                }
+            }
+
+            // Phase 2: tenant cores execute.
+            for t in &mut self.tenants {
+                let mask = self.rdt.clos_mask(t.clos);
+                for &core in &t.cores {
+                    let mut ctx = ExecCtx {
+                        hierarchy: &mut self.hierarchy,
+                        channels: &mut self.channels,
+                        core,
+                        agent: t.agent,
+                        mask,
+                        cycle_budget: budget,
+                    };
+                    let r = t.workload.run(&mut ctx);
+                    // Cores never halt (busy polling / continuous
+                    // compute): the full budget elapses as cycles.
+                    self.bank.retire(core, r.instructions, budget);
+                }
+            }
+
+            // Phase 3: devices drain Tx rings.
+            for t in &mut self.tenants {
+                for port in t.workload.ports_mut() {
+                    port.dma.tx_drain(&mut self.hierarchy, &mut port.tx, usize::MAX);
+                }
+            }
+        }
+
+        self.time_ns += self.config.epoch_ns;
+        EpochReport { time_ns: self.time_ns, packets_delivered: delivered, packets_dropped: dropped }
+    }
+
+    /// Runs `n` epochs, returning the aggregate of the per-epoch reports.
+    pub fn run_epochs(&mut self, n: usize) -> EpochReport {
+        let mut agg = EpochReport::default();
+        for _ in 0..n {
+            let r = self.step_epoch();
+            agg.time_ns = r.time_ns;
+            agg.packets_delivered += r.packets_delivered;
+            agg.packets_dropped += r.packets_dropped;
+        }
+        agg
+    }
+
+    /// Resets every tenant workload's application metrics (between
+    /// experiment phases; the hardware counters stay cumulative, as real
+    /// counters would).
+    pub fn reset_metrics(&mut self) {
+        for t in &mut self.tenants {
+            t.workload.reset_metrics();
+        }
+    }
+
+    /// Epochs per modelled second.
+    pub fn epochs_per_second(&self) -> usize {
+        (1_000_000_000 / self.config.epoch_ns) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iat_cachesim::AgentId;
+    use iat_netsim::{FlowDist, FlowId, Nic, TrafficGen, TrafficPattern, VfId};
+    use iat_rdt::ClosId;
+    use iat_workloads::{TestPmd, XMem};
+
+    fn xmem_tenant(id: u16, core: usize, clos: u8) -> Tenant {
+        Tenant {
+            id: TenantId(id),
+            name: format!("xmem{id}"),
+            agent: AgentId::new(id),
+            cores: vec![core],
+            clos: ClosId::new(clos),
+            workload: Box::new(XMem::new(0x1000_0000 + id as u64 * 0x100_0000, 8192, 7 + id as u64)),
+            bindings: vec![],
+        }
+    }
+
+    #[test]
+    fn compute_tenant_progresses() {
+        let mut p = Platform::new(PlatformConfig::tiny());
+        p.add_tenant(xmem_tenant(0, 0, 1));
+        p.run_epochs(10);
+        assert!(p.metrics_of(TenantId(0)).ops > 0);
+        assert!(p.bank().core(0).instructions > 0);
+        assert_eq!(p.time_ns(), 10 * p.config().epoch_ns);
+    }
+
+    #[test]
+    fn networking_tenant_forwards_traffic() {
+        let mut p = Platform::new(PlatformConfig::tiny());
+        let mut nic = Nic::new(0x4000_0000, 1, 64, 2048);
+        let pmd = TestPmd::new(nic.vf_mut(VfId(0)).clone());
+        let gen = TrafficGen::new(
+            1_000_000_000, // 1 Gb/s, well within one tiny core
+            64,
+            FlowDist::Single(FlowId(0)),
+            TrafficPattern::Constant,
+            42,
+        );
+        p.add_tenant(Tenant {
+            id: TenantId(0),
+            name: "pmd".into(),
+            agent: AgentId::new(0),
+            cores: vec![0],
+            clos: ClosId::new(1),
+            workload: Box::new(pmd),
+            bindings: vec![crate::TrafficBinding { port: 0, gen }],
+        });
+        let rep = p.run_epochs(20);
+        assert!(rep.packets_delivered > 0, "traffic must flow");
+        assert_eq!(rep.packets_dropped, 0, "1 Gb/s must not overload the core");
+        let m = p.metrics_of(TenantId(0));
+        assert!(m.ops > 0, "testpmd must forward");
+        // DDIO counters saw the DMA.
+        let st = p.llc().stats();
+        assert!(st.ddio_hits() + st.ddio_misses() > 0);
+    }
+
+    #[test]
+    fn cat_mask_is_applied_each_epoch() {
+        let mut p = Platform::new(PlatformConfig::tiny());
+        p.add_tenant(xmem_tenant(0, 0, 1));
+        // Restrict the tenant to one way; its misses should exceed the
+        // all-ways case for an LLC-sized working set.
+        p.rdt_mut()
+            .set_clos_mask(ClosId::new(1), iat_cachesim::WayMask::single(0))
+            .unwrap();
+        p.run_epochs(20);
+        let restricted = p.llc().stats().agent(AgentId::new(0)).miss_rate();
+
+        let mut p2 = Platform::new(PlatformConfig::tiny());
+        p2.add_tenant(xmem_tenant(0, 0, 1));
+        p2.rdt_mut()
+            .set_clos_mask(ClosId::new(1), iat_cachesim::WayMask::all(4))
+            .unwrap();
+        p2.run_epochs(20);
+        let open = p2.llc().stats().agent(AgentId::new(0)).miss_rate();
+        assert!(
+            restricted > open,
+            "1-way miss rate {restricted} should exceed 4-way {open}"
+        );
+    }
+
+    #[test]
+    fn duplicate_tenant_rejected() {
+        let mut p = Platform::new(PlatformConfig::tiny());
+        p.add_tenant(xmem_tenant(0, 0, 1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.add_tenant(xmem_tenant(0, 1, 2));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn remove_tenant() {
+        let mut p = Platform::new(PlatformConfig::tiny());
+        p.add_tenant(xmem_tenant(0, 0, 1));
+        p.add_tenant(xmem_tenant(1, 1, 2));
+        let t = p.remove_tenant(TenantId(0));
+        assert_eq!(t.id, TenantId(0));
+        assert_eq!(p.tenants().len(), 1);
+    }
+
+    #[test]
+    fn monitor_spec_covers_tenants() {
+        let mut p = Platform::new(PlatformConfig::tiny());
+        p.add_tenant(xmem_tenant(0, 0, 1));
+        p.add_tenant(xmem_tenant(1, 1, 2));
+        let spec = p.monitor_spec();
+        assert_eq!(spec.tenants.len(), 2);
+        assert_eq!(spec.tenants[1].cores, vec![1]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Time-series recording for experiment output (e.g. the paper's Fig. 11).
+
+use std::collections::BTreeMap;
+
+/// Named time series collected during an experiment.
+///
+/// ```
+/// use iat_platform::Recorder;
+/// let mut r = Recorder::new();
+/// r.record("llc_miss", 0.1, 42.0);
+/// r.record("llc_miss", 0.2, 40.0);
+/// assert_eq!(r.series("llc_miss").len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    series: BTreeMap<String, Vec<(f64, f64)>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `(t, value)` to the named series.
+    pub fn record(&mut self, name: &str, t: f64, value: f64) {
+        self.series.entry(name.to_owned()).or_default().push((t, value));
+    }
+
+    /// The points of one series (empty if never recorded).
+    pub fn series(&self, name: &str) -> &[(f64, f64)] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Names of all recorded series, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Mean of a series' values (0 when empty).
+    pub fn mean(&self, name: &str) -> f64 {
+        let s = self.series(name);
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().map(|(_, v)| v).sum::<f64>() / s.len() as f64
+        }
+    }
+
+    /// Renders all series as a JSON object
+    /// `{name: [[t, v], ...], ...}` for EXPERIMENTS.md reproducibility.
+    pub fn to_json(&self) -> String {
+        let map: BTreeMap<&str, &Vec<(f64, f64)>> =
+            self.series.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        serde_json::to_string(&map).expect("series serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut r = Recorder::new();
+        r.record("a", 0.0, 1.0);
+        r.record("a", 1.0, 3.0);
+        r.record("b", 0.0, 5.0);
+        assert_eq!(r.series("a"), &[(0.0, 1.0), (1.0, 3.0)]);
+        assert_eq!(r.mean("a"), 2.0);
+        assert_eq!(r.mean("missing"), 0.0);
+        let names: Vec<_> = r.names().collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = Recorder::new();
+        r.record("x", 0.5, 2.5);
+        let j = r.to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["x"][0][1], 2.5);
+    }
+}

@@ -1,0 +1,82 @@
+//! Tenants: the unit of workload placement and LLC accounting.
+
+use iat_cachesim::AgentId;
+use iat_netsim::TrafficGen;
+use iat_rdt::ClosId;
+use iat_workloads::Workload;
+use std::fmt;
+
+/// Identifier of a tenant on the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u16);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant({})", self.0)
+    }
+}
+
+/// A traffic generator bound to one port of a tenant's workload.
+#[derive(Debug, Clone)]
+pub struct TrafficBinding {
+    /// Index into the workload's [`Workload::ports_mut`] slice.
+    pub port: usize,
+    /// The generator feeding that port.
+    pub gen: TrafficGen,
+}
+
+/// One tenant: a workload pinned to cores, attributed to an agent id, and
+/// isolated by a CAT class of service.
+pub struct Tenant {
+    /// Platform-unique id.
+    pub id: TenantId,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Cache-attribution agent (RMID).
+    pub agent: AgentId,
+    /// Cores the tenant is pinned to (each runs the workload once per
+    /// epoch).
+    pub cores: Vec<usize>,
+    /// CAT class of service holding the tenant's way mask.
+    pub clos: ClosId,
+    /// The workload model.
+    pub workload: Box<dyn Workload>,
+    /// Inbound traffic feeding the workload's VF ports, if any.
+    pub bindings: Vec<TrafficBinding>,
+}
+
+impl fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tenant")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("agent", &self.agent)
+            .field("cores", &self.cores)
+            .field("clos", &self.clos)
+            .field("workload", &self.workload.name())
+            .field("bindings", &self.bindings.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iat_workloads::XMem;
+
+    #[test]
+    fn debug_includes_workload_name() {
+        let t = Tenant {
+            id: TenantId(3),
+            name: "bench".into(),
+            agent: AgentId::new(3),
+            cores: vec![1],
+            clos: ClosId::new(1),
+            workload: Box::new(XMem::new(0, 4096, 1)),
+            bindings: vec![],
+        };
+        let s = format!("{t:?}");
+        assert!(s.contains("x-mem"));
+        assert!(s.contains("TenantId(3)"));
+    }
+}

@@ -1,0 +1,368 @@
+//! # iat-rdt
+//!
+//! A software model of Intel Resource Director Technology (RDT) as the IAT
+//! daemon uses it: **Cache Allocation Technology** (CAT) classes of service
+//! with their hardware constraints, core-to-CLOS association, and the
+//! **IIO LLC WAYS register** that selects DDIO's write-allocate ways.
+//!
+//! The model enforces what real hardware enforces:
+//!
+//! * every CLOS capacity bitmask (CBM) is non-empty, fits the associativity,
+//!   and is **contiguous** (the CAT architectural requirement the paper's
+//!   LLC Re-alloc step must work around by *shuffling*);
+//! * every core is associated with exactly one CLOS (default CLOS 0);
+//! * the DDIO way mask is non-empty; its power-on default is the **top two
+//!   ways** of the LLC (paper Sec. II-B).
+//!
+//! Register writes are counted so the overhead experiment (paper Fig. 15)
+//! can model `wrmsr` cost.
+//!
+//! # Example
+//!
+//! ```
+//! use iat_rdt::{Rdt, ClosId};
+//! use iat_cachesim::WayMask;
+//!
+//! let mut rdt = Rdt::new(11, 18); // Xeon 6140: 11 ways, 18 cores
+//! assert_eq!(rdt.ddio_mask(), WayMask::contiguous(9, 2).unwrap());
+//!
+//! let clos = ClosId::new(1);
+//! rdt.set_clos_mask(clos, WayMask::contiguous(0, 2).unwrap())?;
+//! rdt.associate_core(4, clos)?;
+//! assert_eq!(rdt.mask_of_core(4), WayMask::contiguous(0, 2).unwrap());
+//! # Ok::<(), iat_rdt::RdtError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use iat_cachesim::WayMask;
+use std::fmt;
+
+/// Number of classes of service the model exposes (matches Skylake-SP CAT).
+pub const CLOS_COUNT: usize = 16;
+
+/// Identifier of a CAT class of service.
+///
+/// CLOS 0 is the default class every core starts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClosId(u8);
+
+impl ClosId {
+    /// The default class of service.
+    pub const DEFAULT: ClosId = ClosId(0);
+
+    /// Creates a CLOS id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= CLOS_COUNT`.
+    pub fn new(id: u8) -> Self {
+        assert!((id as usize) < CLOS_COUNT, "CLOS id out of range");
+        ClosId(id)
+    }
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClosId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clos{}", self.0)
+    }
+}
+
+/// Errors from programming the RDT model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RdtError {
+    /// The capacity bitmask violates a CAT constraint.
+    InvalidCbm {
+        /// Offending mask.
+        mask: WayMask,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// Core index out of range.
+    NoSuchCore {
+        /// Offending core index.
+        core: usize,
+        /// Number of cores in the model.
+        cores: usize,
+    },
+    /// The DDIO mask violates the IIO LLC WAYS register constraints.
+    InvalidDdioMask {
+        /// Offending mask.
+        mask: WayMask,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for RdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdtError::InvalidCbm { mask, reason } => {
+                write!(f, "invalid CAT capacity bitmask {mask}: {reason}")
+            }
+            RdtError::NoSuchCore { core, cores } => {
+                write!(f, "core {core} out of range (model has {cores} cores)")
+            }
+            RdtError::InvalidDdioMask { mask, reason } => {
+                write!(f, "invalid DDIO way mask {mask}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdtError {}
+
+/// Convenient alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, RdtError>;
+
+/// The RDT register file of one socket: CAT CBMs, core associations, and
+/// the DDIO ways register.
+#[derive(Debug, Clone)]
+pub struct Rdt {
+    ways: u8,
+    clos_masks: [WayMask; CLOS_COUNT],
+    core_clos: Vec<ClosId>,
+    ddio_mask: WayMask,
+    msr_writes: u64,
+}
+
+impl Rdt {
+    /// Creates the register file for a socket with `ways`-way LLC and
+    /// `cores` cores.
+    ///
+    /// Power-on state: every CLOS covers all ways, every core is in CLOS 0,
+    /// and DDIO owns the top two ways (the hardware default the paper
+    /// describes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways < 2` (the DDIO default needs two ways) or
+    /// `ways > 32`.
+    pub fn new(ways: u8, cores: usize) -> Self {
+        assert!((2..=32).contains(&ways), "ways out of range");
+        Rdt {
+            ways,
+            clos_masks: [WayMask::all(ways); CLOS_COUNT],
+            core_clos: vec![ClosId::DEFAULT; cores],
+            ddio_mask: WayMask::contiguous(ways - 2, 2).expect("ways >= 2"),
+            msr_writes: 0,
+        }
+    }
+
+    /// LLC associativity this register file was built for.
+    pub fn ways(&self) -> u8 {
+        self.ways
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.core_clos.len()
+    }
+
+    /// Number of model-register writes performed so far (wrmsr count).
+    pub fn msr_writes(&self) -> u64 {
+        self.msr_writes
+    }
+
+    fn check_cbm(&self, mask: WayMask) -> Result<()> {
+        if mask.is_empty() {
+            return Err(RdtError::InvalidCbm { mask, reason: "empty mask" });
+        }
+        if !mask.fits(self.ways) {
+            return Err(RdtError::InvalidCbm { mask, reason: "exceeds associativity" });
+        }
+        if !mask.is_contiguous() {
+            return Err(RdtError::InvalidCbm { mask, reason: "CAT requires contiguous masks" });
+        }
+        Ok(())
+    }
+
+    /// Programs the capacity bitmask of `clos`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdtError::InvalidCbm`] if the mask is empty, wider than the
+    /// LLC, or non-contiguous.
+    pub fn set_clos_mask(&mut self, clos: ClosId, mask: WayMask) -> Result<()> {
+        self.check_cbm(mask)?;
+        self.clos_masks[clos.index()] = mask;
+        self.msr_writes += 1;
+        Ok(())
+    }
+
+    /// Reads the capacity bitmask of `clos`.
+    pub fn clos_mask(&self, clos: ClosId) -> WayMask {
+        self.clos_masks[clos.index()]
+    }
+
+    /// Associates `core` with `clos`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdtError::NoSuchCore`] if the core index is out of range.
+    pub fn associate_core(&mut self, core: usize, clos: ClosId) -> Result<()> {
+        if core >= self.core_clos.len() {
+            return Err(RdtError::NoSuchCore { core, cores: self.core_clos.len() });
+        }
+        self.core_clos[core] = clos;
+        self.msr_writes += 1;
+        Ok(())
+    }
+
+    /// The CLOS a core is associated with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn clos_of_core(&self, core: usize) -> ClosId {
+        self.core_clos[core]
+    }
+
+    /// The effective allocation mask of a core (its CLOS's CBM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn mask_of_core(&self, core: usize) -> WayMask {
+        self.clos_masks[self.core_clos[core].index()]
+    }
+
+    /// Programs the DDIO (IIO LLC WAYS) register.
+    ///
+    /// Unlike CAT CBMs the register is not architecturally required to be
+    /// contiguous, but it must be non-empty and fit the LLC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdtError::InvalidDdioMask`] on an empty or oversized mask.
+    pub fn set_ddio_mask(&mut self, mask: WayMask) -> Result<()> {
+        if mask.is_empty() {
+            return Err(RdtError::InvalidDdioMask { mask, reason: "empty mask" });
+        }
+        if !mask.fits(self.ways) {
+            return Err(RdtError::InvalidDdioMask { mask, reason: "exceeds associativity" });
+        }
+        self.ddio_mask = mask;
+        self.msr_writes += 1;
+        Ok(())
+    }
+
+    /// Reads the DDIO (IIO LLC WAYS) register.
+    pub fn ddio_mask(&self) -> WayMask {
+        self.ddio_mask
+    }
+
+    /// Number of DDIO ways currently configured.
+    pub fn ddio_ways(&self) -> u8 {
+        self.ddio_mask.count()
+    }
+
+    /// Ways not covered by any *distinctly programmed* CLOS in `used`,
+    /// nor by DDIO: the idle-way pool IAT draws from.
+    ///
+    /// `used` lists the CLOS ids actually assigned to tenants; CLOS left at
+    /// the power-on all-ways default would otherwise make every way look
+    /// busy.
+    pub fn idle_ways(&self, used: &[ClosId]) -> WayMask {
+        let mut busy = self.ddio_mask;
+        for &c in used {
+            busy = busy | self.clos_masks[c.index()];
+        }
+        WayMask::all(self.ways).difference(busy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_on_defaults() {
+        let rdt = Rdt::new(11, 18);
+        assert_eq!(rdt.ddio_mask(), WayMask::contiguous(9, 2).unwrap());
+        assert_eq!(rdt.ddio_ways(), 2);
+        for c in 0..18 {
+            assert_eq!(rdt.clos_of_core(c), ClosId::DEFAULT);
+            assert_eq!(rdt.mask_of_core(c), WayMask::all(11));
+        }
+        assert_eq!(rdt.msr_writes(), 0);
+    }
+
+    #[test]
+    fn cat_rejects_noncontiguous_and_empty() {
+        let mut rdt = Rdt::new(11, 4);
+        let clos = ClosId::new(1);
+        assert!(matches!(
+            rdt.set_clos_mask(clos, WayMask::from_bits(0b101)),
+            Err(RdtError::InvalidCbm { .. })
+        ));
+        assert!(rdt.set_clos_mask(clos, WayMask::EMPTY).is_err());
+        assert!(rdt.set_clos_mask(clos, WayMask::from_bits(1 << 11)).is_err());
+        assert!(rdt.set_clos_mask(clos, WayMask::contiguous(3, 4).unwrap()).is_ok());
+        assert_eq!(rdt.clos_mask(clos), WayMask::contiguous(3, 4).unwrap());
+    }
+
+    #[test]
+    fn core_association() {
+        let mut rdt = Rdt::new(11, 2);
+        let clos = ClosId::new(2);
+        rdt.set_clos_mask(clos, WayMask::contiguous(0, 3).unwrap()).unwrap();
+        rdt.associate_core(1, clos).unwrap();
+        assert_eq!(rdt.mask_of_core(1), WayMask::contiguous(0, 3).unwrap());
+        assert_eq!(rdt.mask_of_core(0), WayMask::all(11));
+        assert!(matches!(rdt.associate_core(5, clos), Err(RdtError::NoSuchCore { .. })));
+    }
+
+    #[test]
+    fn ddio_register_constraints() {
+        let mut rdt = Rdt::new(11, 1);
+        assert!(rdt.set_ddio_mask(WayMask::EMPTY).is_err());
+        assert!(rdt.set_ddio_mask(WayMask::from_bits(1 << 12)).is_err());
+        // Non-contiguous is allowed for DDIO.
+        assert!(rdt.set_ddio_mask(WayMask::from_bits(0b101)).is_ok());
+        assert_eq!(rdt.ddio_ways(), 2);
+    }
+
+    #[test]
+    fn msr_write_counting() {
+        let mut rdt = Rdt::new(11, 2);
+        rdt.set_clos_mask(ClosId::new(1), WayMask::single(0)).unwrap();
+        rdt.associate_core(0, ClosId::new(1)).unwrap();
+        rdt.set_ddio_mask(WayMask::contiguous(8, 3).unwrap()).unwrap();
+        assert_eq!(rdt.msr_writes(), 3);
+        // Failed writes do not count.
+        let _ = rdt.set_ddio_mask(WayMask::EMPTY);
+        assert_eq!(rdt.msr_writes(), 3);
+    }
+
+    #[test]
+    fn idle_way_pool() {
+        let mut rdt = Rdt::new(11, 4);
+        let c1 = ClosId::new(1);
+        let c2 = ClosId::new(2);
+        rdt.set_clos_mask(c1, WayMask::contiguous(0, 2).unwrap()).unwrap();
+        rdt.set_clos_mask(c2, WayMask::contiguous(2, 3).unwrap()).unwrap();
+        // DDIO default ways {9,10}; used clos cover {0..4}; idle = {5..8}.
+        let idle = rdt.idle_ways(&[c1, c2]);
+        assert_eq!(idle, WayMask::contiguous(5, 4).unwrap());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = RdtError::NoSuchCore { core: 7, cores: 4 };
+        assert_eq!(e.to_string(), "core 7 out of range (model has 4 cores)");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn clos_id_bounds() {
+        let _ = ClosId::new(16);
+    }
+}

@@ -1,0 +1,176 @@
+//! Bounded-memory latency statistics.
+
+/// Collects per-operation latencies with O(1) memory: exact count/mean plus
+/// a fixed-size reservoir for percentiles.
+///
+/// ```
+/// use iat_workloads::LatencySampler;
+/// let mut s = LatencySampler::new(7);
+/// for v in 1..=100u64 {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 100);
+/// assert!((s.mean() - 50.5).abs() < 1e-9);
+/// let p99 = s.percentile(0.99);
+/// assert!(p99 >= 80.0, "reservoir p99 should land high, got {p99}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencySampler {
+    count: u64,
+    sum: u64,
+    max: u64,
+    reservoir: Vec<u64>,
+    cap: usize,
+    /// xorshift state for reservoir replacement (deterministic per seed).
+    state: u64,
+}
+
+impl LatencySampler {
+    /// Default reservoir size: large enough for stable p99 estimates.
+    pub const DEFAULT_CAP: usize = 4096;
+
+    /// Creates a sampler with the default reservoir capacity.
+    pub fn new(seed: u64) -> Self {
+        Self::with_capacity(Self::DEFAULT_CAP, seed)
+    }
+
+    /// Creates a sampler with an explicit reservoir capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_capacity(cap: usize, seed: u64) -> Self {
+        assert!(cap > 0, "reservoir capacity must be positive");
+        LatencySampler {
+            count: 0,
+            sum: 0,
+            max: 0,
+            reservoir: Vec::with_capacity(cap.min(4096)),
+            cap,
+            state: seed | 1,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+        if self.reservoir.len() < self.cap {
+            self.reservoir.push(value);
+        } else {
+            // Vitter's algorithm R.
+            let j = self.next_rand() % self.count;
+            if (j as usize) < self.cap {
+                self.reservoir[j as usize] = value;
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum observed latency.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Estimated percentile `q` in `[0,1]` from the reservoir (0 when
+    /// empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0,1]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "percentile out of range");
+        if self.reservoir.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.reservoir.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * q).round() as usize;
+        v[idx] as f64
+    }
+
+    /// Clears all observations.
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+        self.reservoir.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let s = LatencySampler::new(1);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(0.99), 0.0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn exact_stats_small() {
+        let mut s = LatencySampler::new(1);
+        for v in [10u64, 20, 30] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(s.max(), 30);
+        assert_eq!(s.percentile(0.5), 20.0);
+        assert_eq!(s.percentile(1.0), 30.0);
+    }
+
+    #[test]
+    fn reservoir_percentile_reasonable_with_overflow() {
+        let mut s = LatencySampler::with_capacity(512, 3);
+        for v in 0..100_000u64 {
+            s.record(v % 1000);
+        }
+        let p50 = s.percentile(0.5);
+        assert!((p50 - 500.0).abs() < 120.0, "p50 estimate off: {p50}");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = LatencySampler::new(1);
+        s.record(5);
+        s.reset();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(0.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_percentile_panics() {
+        let s = LatencySampler::new(1);
+        let _ = s.percentile(1.5);
+    }
+}

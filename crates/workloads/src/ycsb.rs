@@ -1,0 +1,133 @@
+//! YCSB core-workload operation mixes (Cooper et al., SoCC'10), used by the
+//! paper to drive Redis and RocksDB (Sec. VI-C).
+
+/// Kind of a single YCSB operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Point read.
+    Read,
+    /// In-place update of an existing record.
+    Update,
+    /// Insert of a new record.
+    Insert,
+    /// Short range scan.
+    Scan,
+    /// Read-modify-write.
+    ReadModifyWrite,
+}
+
+/// An operation mix: probabilities summing to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YcsbMix {
+    /// Workload letter, for reporting.
+    pub name: &'static str,
+    read: f64,
+    update: f64,
+    insert: f64,
+    scan: f64,
+    rmw: f64,
+}
+
+impl YcsbMix {
+    /// Workload A: 50% read, 50% update (update heavy).
+    pub fn a() -> Self {
+        YcsbMix { name: "A", read: 0.5, update: 0.5, insert: 0.0, scan: 0.0, rmw: 0.0 }
+    }
+
+    /// Workload B: 95% read, 5% update (read mostly).
+    pub fn b() -> Self {
+        YcsbMix { name: "B", read: 0.95, update: 0.05, insert: 0.0, scan: 0.0, rmw: 0.0 }
+    }
+
+    /// Workload C: 100% read.
+    pub fn c() -> Self {
+        YcsbMix { name: "C", read: 1.0, update: 0.0, insert: 0.0, scan: 0.0, rmw: 0.0 }
+    }
+
+    /// Workload D: 95% read, 5% insert (read latest).
+    pub fn d() -> Self {
+        YcsbMix { name: "D", read: 0.95, update: 0.0, insert: 0.05, scan: 0.0, rmw: 0.0 }
+    }
+
+    /// Workload E: 95% scan, 5% insert (short ranges).
+    pub fn e() -> Self {
+        YcsbMix { name: "E", read: 0.0, update: 0.0, insert: 0.05, scan: 0.95, rmw: 0.0 }
+    }
+
+    /// Workload F: 50% read, 50% read-modify-write.
+    pub fn f() -> Self {
+        YcsbMix { name: "F", read: 0.5, update: 0.0, insert: 0.0, scan: 0.0, rmw: 0.5 }
+    }
+
+    /// All six core workloads in order.
+    pub fn all() -> [YcsbMix; 6] {
+        [Self::a(), Self::b(), Self::c(), Self::d(), Self::e(), Self::f()]
+    }
+
+    /// Picks the operation kind for a uniform draw `u` in `[0,1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `u` is outside `[0,1)`.
+    pub fn pick(&self, u: f64) -> OpKind {
+        debug_assert!((0.0..1.0).contains(&u));
+        let mut acc = self.read;
+        if u < acc {
+            return OpKind::Read;
+        }
+        acc += self.update;
+        if u < acc {
+            return OpKind::Update;
+        }
+        acc += self.insert;
+        if u < acc {
+            return OpKind::Insert;
+        }
+        acc += self.scan;
+        if u < acc {
+            return OpKind::Scan;
+        }
+        OpKind::ReadModifyWrite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_sum_to_one() {
+        for m in YcsbMix::all() {
+            let sum = m.read + m.update + m.insert + m.scan + m.rmw;
+            assert!((sum - 1.0).abs() < 1e-12, "{} sums to {sum}", m.name);
+        }
+    }
+
+    #[test]
+    fn c_is_read_only() {
+        let c = YcsbMix::c();
+        for i in 0..100 {
+            assert_eq!(c.pick(i as f64 / 100.0), OpKind::Read);
+        }
+    }
+
+    #[test]
+    fn a_splits_evenly() {
+        let a = YcsbMix::a();
+        assert_eq!(a.pick(0.25), OpKind::Read);
+        assert_eq!(a.pick(0.75), OpKind::Update);
+    }
+
+    #[test]
+    fn e_is_scan_heavy() {
+        let e = YcsbMix::e();
+        let scans = (0..1000).filter(|i| e.pick(*i as f64 / 1000.0) == OpKind::Scan).count();
+        assert!((scans as i64 - 950).abs() <= 10);
+    }
+
+    #[test]
+    fn f_has_rmw() {
+        let f = YcsbMix::f();
+        assert_eq!(f.pick(0.99), OpKind::ReadModifyWrite);
+    }
+}

@@ -1,0 +1,80 @@
+//! The Latent Contender problem, end to end: an X-Mem tenant placed on
+//! LLC ways that *look* idle — but are DDIO's — loses throughput to
+//! inbound DMA traffic it never sees (paper Sec. III-B / Fig. 4).
+//!
+//! ```text
+//! cargo run --release --example latent_contender
+//! ```
+
+use iat_repro::cachesim::{AgentId, WayMask};
+use iat_repro::netsim::{FlowDist, Nic, TrafficGen, TrafficPattern, VfId};
+use iat_repro::platform::{Platform, PlatformConfig, Tenant, TenantId, TrafficBinding};
+use iat_repro::rdt::ClosId;
+use iat_repro::workloads::{HashRegion, L3Fwd, XMem};
+
+/// Builds the scenario with X-Mem either on dedicated ways {2,3} or on
+/// DDIO's default ways {9,10}, and returns X-Mem's read throughput.
+fn run(ddio_overlap: bool) -> f64 {
+    let config = PlatformConfig::xeon_6140();
+    let mut platform = Platform::new(config);
+
+    // l3fwd moving 40 Gb/s of MTU packets on ways {0,1}.
+    let mut nic = Nic::with_pool(64 << 30, 1, 1024, 2112, 3072);
+    let table = HashRegion::new(1 << 30, 1 << 20, 1);
+    platform.add_tenant(Tenant {
+        id: TenantId(0),
+        name: "l3fwd".into(),
+        agent: AgentId::new(0),
+        cores: vec![0],
+        clos: ClosId::new(1),
+        workload: Box::new(L3Fwd::new(nic.vf_mut(VfId(0)).clone(), table)),
+        bindings: vec![TrafficBinding {
+            port: 0,
+            gen: TrafficGen::new(
+                40_000_000_000,
+                1500,
+                FlowDist::Uniform { count: 1 << 20 },
+                TrafficPattern::Constant,
+                3,
+            ),
+        }],
+    });
+    // X-Mem, 8 MB random reads.
+    platform.add_tenant(Tenant {
+        id: TenantId(1),
+        name: "x-mem".into(),
+        agent: AgentId::new(1),
+        cores: vec![1],
+        clos: ClosId::new(2),
+        workload: Box::new(XMem::new(2 << 30, 8 << 20, 7)),
+        bindings: vec![],
+    });
+
+    let rdt = platform.rdt_mut();
+    rdt.set_clos_mask(ClosId::new(1), WayMask::contiguous(0, 2).expect("mask"))
+        .expect("valid mask");
+    let xmem_mask = if ddio_overlap {
+        WayMask::contiguous(9, 2).expect("mask") // DDIO's default ways
+    } else {
+        WayMask::contiguous(2, 2).expect("mask") // truly dedicated
+    };
+    rdt.set_clos_mask(ClosId::new(2), xmem_mask).expect("valid mask");
+
+    platform.run_epochs(300); // warm
+    platform.reset_metrics();
+    let t0 = platform.time_s();
+    platform.run_epochs(400);
+    let secs = platform.time_s() - t0;
+    platform.metrics_of(TenantId(1)).ops as f64 / secs
+}
+
+fn main() {
+    let dedicated = run(false);
+    let overlapped = run(true);
+    println!("x-mem on dedicated ways : {dedicated:>12.0} reads/s (modelled)");
+    println!("x-mem on DDIO's ways    : {overlapped:>12.0} reads/s (modelled)");
+    println!(
+        "latent contender penalty: {:.1}% — no core shares those ways, the I/O does.",
+        (1.0 - overlapped / dedicated) * 100.0
+    );
+}

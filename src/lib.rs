@@ -1,0 +1,31 @@
+//! # iat-repro
+//!
+//! Umbrella crate of the reproduction of *"Don't Forget the I/O When
+//! Allocating Your LLC"* (ISCA 2021). It re-exports every layer of the
+//! stack under one roof so examples and downstream users can depend on a
+//! single crate:
+//!
+//! * [`iat`] — the paper's contribution: the IAT daemon, its FSM, the
+//!   layout/shuffle planner and the baseline policies;
+//! * [`cachesim`] — sliced, way-partitioned LLC + DDIO + L2 + memory model;
+//! * [`rdt`] — CAT/CLOS and the DDIO ways register;
+//! * [`perf`] — core/uncore performance counters with read-cost modelling;
+//! * [`netsim`] — NICs, rings, DMA-over-DDIO, traffic generation, RFC 2544;
+//! * [`workloads`] — X-Mem, DPDK apps, OVS, NF chains, KVS/YCSB, RocksDB-
+//!   like and SPEC-profile workload models;
+//! * [`platform`] — the epoch-driven simulated server tying it together.
+//!
+//! See `examples/quickstart.rs` for the 60-second tour, and the `iat-bench`
+//! crate for the binaries that regenerate every table and figure of the
+//! paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use iat;
+pub use iat_cachesim as cachesim;
+pub use iat_netsim as netsim;
+pub use iat_perf as perf;
+pub use iat_platform as platform;
+pub use iat_rdt as rdt;
+pub use iat_workloads as workloads;

@@ -1,0 +1,100 @@
+//! End-to-end reproduction of the Leaky DMA mechanism across the whole
+//! stack (netsim → cachesim → perf): when the rotating DMA write footprint
+//! exceeds DDIO's LLC ways, write allocates and memory traffic explode;
+//! widening DDIO's ways absorbs them.
+
+use iat_repro::cachesim::{AgentId, WayMask};
+use iat_repro::netsim::{FlowDist, FlowId, Nic, TrafficGen, TrafficPattern, VfId};
+use iat_repro::platform::{Platform, PlatformConfig, Tenant, TenantId, TrafficBinding};
+use iat_repro::rdt::ClosId;
+use iat_repro::workloads::TestPmd;
+
+/// A lighter-weight xeon config for debug-mode tests.
+fn test_config() -> PlatformConfig {
+    PlatformConfig { time_scale: 500, ..PlatformConfig::xeon_6140() }
+}
+
+fn run_with_ddio_ways(ways: u8) -> (u64, u64, u64) {
+    let config = test_config();
+    let mut platform = Platform::new(config);
+    let mut nic = Nic::with_pool(64 << 30, 1, 1024, 2112, 3072);
+    platform.add_tenant(Tenant {
+        id: TenantId(0),
+        name: "testpmd".into(),
+        agent: AgentId::new(0),
+        cores: vec![0, 1],
+        clos: ClosId::new(1),
+        workload: Box::new(TestPmd::new(nic.vf_mut(VfId(0)).clone())),
+        bindings: vec![TrafficBinding {
+            port: 0,
+            gen: TrafficGen::new(
+                40_000_000_000,
+                1500,
+                FlowDist::Single(FlowId(0)),
+                TrafficPattern::Constant,
+                42,
+            ),
+        }],
+    });
+    platform
+        .rdt_mut()
+        .set_ddio_mask(WayMask::contiguous(11 - ways, ways).expect("mask"))
+        .expect("valid ddio mask");
+    // Warm one pool rotation, then measure.
+    platform.run_epochs(150);
+    let h0 = platform.llc().stats().ddio_hits();
+    let m0 = platform.llc().stats().ddio_misses();
+    let mem0 = platform.llc().mem().total_bytes();
+    platform.run_epochs(150);
+    let st = platform.llc().stats();
+    (st.ddio_hits() - h0, st.ddio_misses() - m0, platform.llc().mem().total_bytes() - mem0)
+}
+
+#[test]
+fn wider_ddio_turns_misses_into_hits() {
+    let (hits2, misses2, mem2) = run_with_ddio_ways(2);
+    let (hits6, misses6, mem6) = run_with_ddio_ways(6);
+    assert!(
+        misses2 > misses6 * 2,
+        "2-way DDIO misses ({misses2}) should far exceed 6-way ({misses6})"
+    );
+    assert!(hits6 > hits2, "6-way DDIO hits ({hits6}) should exceed 2-way ({hits2})");
+    assert!(mem2 > mem6, "memory traffic must drop with wider DDIO ({mem2} vs {mem6})");
+}
+
+#[test]
+fn small_packets_fit_default_ddio_ways() {
+    // 64 B packets touch ~2 lines per mbuf: the rotating footprint fits the
+    // default two ways and write update dominates — paper Fig. 8's left edge.
+    let config = test_config();
+    let mut platform = Platform::new(config);
+    let mut nic = Nic::with_pool(64 << 30, 1, 1024, 2112, 3072);
+    platform.add_tenant(Tenant {
+        id: TenantId(0),
+        name: "testpmd".into(),
+        agent: AgentId::new(0),
+        cores: vec![0, 1],
+        clos: ClosId::new(1),
+        workload: Box::new(TestPmd::new(nic.vf_mut(VfId(0)).clone())),
+        bindings: vec![TrafficBinding {
+            port: 0,
+            gen: TrafficGen::new(
+                10_000_000_000,
+                64,
+                FlowDist::Single(FlowId(0)),
+                TrafficPattern::Constant,
+                42,
+            ),
+        }],
+    });
+    platform.run_epochs(150);
+    let h0 = platform.llc().stats().ddio_hits();
+    let m0 = platform.llc().stats().ddio_misses();
+    platform.run_epochs(150);
+    let st = platform.llc().stats();
+    let (hits, misses) = (st.ddio_hits() - h0, st.ddio_misses() - m0);
+    assert!(
+        hits > misses * 5,
+        "warm small-packet traffic should be write-update dominated ({hits} vs {misses})"
+    );
+}

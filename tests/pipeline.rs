@@ -1,0 +1,104 @@
+//! Whole-pipeline integration: traffic generator → DMA/DDIO → rings →
+//! workload cores → Tx drain → performance counters, with every layer's
+//! accounting consistent with every other's.
+
+use iat_repro::cachesim::AgentId;
+use iat_repro::netsim::{FlowDist, FlowId, Nic, TrafficGen, TrafficPattern, VfId};
+use iat_repro::perf::{DdioSampleMode, Monitor};
+use iat_repro::platform::{Platform, PlatformConfig, Tenant, TenantId, TrafficBinding};
+use iat_repro::rdt::ClosId;
+use iat_repro::workloads::{HashRegion, L3Fwd};
+
+fn build(rate_bps: u64, pkt: u32) -> Platform {
+    let config = PlatformConfig { time_scale: 1000, ..PlatformConfig::xeon_6140() };
+    let mut platform = Platform::new(config);
+    let mut nic = Nic::with_pool(64 << 30, 1, 1024, 2112, 3072);
+    let table = HashRegion::new(1 << 30, 1 << 16, 1);
+    platform.add_tenant(Tenant {
+        id: TenantId(0),
+        name: "l3fwd".into(),
+        agent: AgentId::new(0),
+        cores: vec![0],
+        clos: ClosId::new(1),
+        workload: Box::new(L3Fwd::new(nic.vf_mut(VfId(0)).clone(), table)),
+        bindings: vec![TrafficBinding {
+            port: 0,
+            gen: TrafficGen::new(
+                rate_bps,
+                pkt,
+                FlowDist::Uniform { count: 1 << 16 },
+                TrafficPattern::Constant,
+                3,
+            ),
+        }],
+    });
+    platform
+}
+
+#[test]
+fn packet_conservation() {
+    // Offered = delivered + dropped; delivered = forwarded + still queued.
+    let mut platform = build(2_000_000_000, 256);
+    let report = platform.run_epochs(200);
+    let m = platform.metrics_of(TenantId(0));
+    let queued: usize = {
+        let t = platform.tenant_mut(TenantId(0));
+        t.workload.ports_mut().iter_mut().map(|p| p.rx.len()).sum()
+    };
+    assert!(report.packets_delivered > 0);
+    assert_eq!(
+        report.packets_delivered,
+        m.ops + queued as u64,
+        "every delivered packet is forwarded or still queued"
+    );
+}
+
+#[test]
+fn counters_view_matches_substrate() {
+    // The monitor's view (what IAT sees) must equal the substrate truth.
+    let mut platform = build(2_000_000_000, 256);
+    platform.run_epochs(100);
+    let monitor = Monitor::new(platform.monitor_spec(), DdioSampleMode::AllSlices);
+    let poll = monitor.poll(platform.llc(), platform.bank());
+    let st = platform.llc().stats();
+    assert_eq!(poll.system.ddio_hits, st.ddio_hits());
+    assert_eq!(poll.system.ddio_misses, st.ddio_misses());
+    assert_eq!(poll.tenants[0].llc_references, st.agent(AgentId::new(0)).references);
+    assert_eq!(poll.tenants[0].llc_misses, st.agent(AgentId::new(0)).misses);
+    assert_eq!(poll.system.mem_read_bytes, platform.llc().mem().read_bytes());
+}
+
+#[test]
+fn one_slice_sampling_close_to_truth() {
+    // The paper's one-CHA sampling trick holds on the full pipeline.
+    let mut platform = build(4_000_000_000, 1024);
+    platform.run_epochs(200);
+    let exact = Monitor::new(platform.monitor_spec(), DdioSampleMode::AllSlices)
+        .poll(platform.llc(), platform.bank())
+        .system;
+    let sampled = Monitor::new(platform.monitor_spec(), DdioSampleMode::OneSlice(3))
+        .poll(platform.llc(), platform.bank())
+        .system;
+    let t = (exact.ddio_hits + exact.ddio_misses) as f64;
+    let s = (sampled.ddio_hits + sampled.ddio_misses) as f64;
+    assert!(
+        (s - t).abs() / t < 0.15,
+        "one-slice inference {s} should be within 15% of exact {t}"
+    );
+}
+
+#[test]
+fn overload_drops_do_not_touch_the_cache() {
+    // At line rate on one core, the NIC drops at the MAC: dropped packets
+    // must not generate DDIO traffic.
+    let mut platform = build(40_000_000_000, 64);
+    platform.run_epochs(50);
+    let report = platform.run_epochs(50);
+    assert!(report.packets_dropped > 0, "one core cannot absorb 64 B line rate");
+    let st = platform.llc().stats();
+    // 1 desc + 1 payload line per *accepted* packet: DDIO transactions are
+    // bounded by deliveries, not by offered load.
+    let io_txn = st.ddio_hits() + st.ddio_misses();
+    let delivered_total = platform.llc().stats().agent(AgentId::IO).references;
+    assert_eq!(io_txn, delivered_total);
+}
