@@ -4,10 +4,11 @@
 //! binary reports.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iat::{IatConfig, IatDaemon, IatFlags, LlcPolicy, Priority, TenantInfo};
+use iat::{IatConfig, IatDaemon, IatFlags, Priority, TenantInfo};
 use iat_cachesim::AgentId;
 use iat_perf::{CoreCounters, Poll, SystemSample, TenantSample};
 use iat_rdt::{ClosId, Rdt};
+use iat_telemetry::{NullRecorder, RingRecorder};
 use std::hint::black_box;
 
 fn tenants(count: usize) -> Vec<TenantInfo> {
@@ -80,5 +81,39 @@ fn bench_daemon_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_daemon_step);
+/// The telemetry overhead guard companion: `step` *is*
+/// `step_traced(&mut NullRecorder)` (one virtual `enabled()` call per
+/// instrumentation site), so "null_recorder" here is the production
+/// fast path and "ring_recorder" shows the full flight-recorder cost.
+/// `tests/telemetry_trace.rs` pins the <2% bound.
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let count = 4usize;
+    let mut group = c.benchmark_group("daemon_step_recorder");
+    group.bench_function("null_recorder", |b| {
+        let mut rdt = Rdt::new(11, 18);
+        let mut daemon = IatDaemon::new(IatConfig::paper(), IatFlags::full(), 11);
+        daemon.set_tenants(tenants(count), &mut rdt);
+        let mut acc = 1_000_000u64;
+        daemon.step(&mut rdt, poll(count, acc, 1.0));
+        b.iter(|| {
+            acc += 1_000_000;
+            black_box(daemon.step_traced(&mut rdt, poll(count, acc, 1.0), acc, &mut NullRecorder))
+        });
+    });
+    group.bench_function("ring_recorder", |b| {
+        let mut rdt = Rdt::new(11, 18);
+        let mut daemon = IatDaemon::new(IatConfig::paper(), IatFlags::full(), 11);
+        daemon.set_tenants(tenants(count), &mut rdt);
+        let mut rec = RingRecorder::new(1024);
+        let mut acc = 1_000_000u64;
+        daemon.step(&mut rdt, poll(count, acc, 1.0));
+        b.iter(|| {
+            acc += 1_000_000;
+            black_box(daemon.step_traced(&mut rdt, poll(count, acc, 1.0), acc, &mut rec))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_daemon_step, bench_recorder_overhead);
 criterion_main!(benches);

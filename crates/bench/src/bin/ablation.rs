@@ -5,9 +5,8 @@
 //! * `THRESHOLD_STABLE` sensitivity;
 //! * sleep-interval sensitivity (reaction time in intervals).
 
-use iat_bench::report::{f, save_json, Table};
+use iat_bench::report::{f, FigureReport};
 use iat_bench::scenarios::{self, PolicyKind};
-use iat_bench::Managed;
 use iat::{IatConfig, IatDaemon, IatFlags};
 use iat_workloads::XMem;
 
@@ -87,11 +86,11 @@ fn reaction(flags: IatFlags, threshold_stable: f64) -> (usize, f64) {
 }
 
 fn main() {
-    let mut table = Table::new(
+    let mut fig = FigureReport::new(
+        "ablation",
         "Ablation — shuffle policy, stability threshold (Fig. 10 phase-change probe)",
         &["variant", "intervals to 4 ways", "pc4 Mops/s"],
     );
-    let mut json = Vec::new();
 
     let cases: Vec<(&str, IatFlags, f64)> = vec![
         ("paper (BE-sorted shuffle, 3%)", IatFlags { io_demand: false, ..IatFlags::full() }, 0.03),
@@ -111,17 +110,18 @@ fn main() {
     ];
     for (name, flags, th) in cases {
         let (intervals, mops) = reaction(flags, th);
-        table.row(&[name.into(), intervals.to_string(), f(mops, 1)]);
-        json.push(serde_json::json!({
-            "variant": name, "intervals_to_4_ways": intervals, "pc4_mops": mops,
-        }));
+        fig.row(
+            &[name.into(), intervals.to_string(), f(mops, 1)],
+            serde_json::json!({
+                "variant": name, "intervals_to_4_ways": intervals, "pc4_mops": mops,
+            }),
+        );
     }
-    table.print();
-    println!(
-        "\nReading: the BE-sorted shuffle protects container 4's throughput; an\n\
+    fig.note(
+        "Reading: the BE-sorted shuffle protects container 4's throughput; an\n\
          insensitive threshold (30%) fails to detect the phase change at all, while\n\
          1–10% react within a couple of intervals — the paper's dCAT-like\n\
-         insensitivity in the useful range."
+         insensitivity in the useful range.",
     );
-    save_json("ablation", &serde_json::Value::Array(json));
+    fig.finish();
 }

@@ -7,7 +7,7 @@
 //! that "a shallow Rx/Tx buffer can lead to severe packet drop issues,
 //! especially with bursty traffic".
 
-use iat_bench::report::{pct, save_json, Table};
+use iat_bench::report::{pct, FigureReport};
 use iat_bench::scenarios::{self, LINE_RATE_40G};
 use iat_netsim::{rfc2544_search, FlowDist, Rfc2544Config, TrafficGen, TrafficPattern};
 use iat_platform::TenantId;
@@ -31,11 +31,11 @@ fn trial(ring: usize, pkt: u32, rate_bps: u64) -> u64 {
 
 fn main() {
     let rings = [1024usize, 512, 256, 128, 64];
-    let mut table = Table::new(
+    let mut fig = FigureReport::new(
+        "fig03",
         "Fig. 3 — RFC2544 zero-loss throughput vs Rx ring size (l3fwd, 1M flows)",
         &["pkt", "ring", "zero-loss Gb/s", "% of 1024-ring", "trials"],
     );
-    let mut json = Vec::new();
 
     for &pkt in &[64u32, 1500] {
         let mut reference = None;
@@ -51,26 +51,27 @@ fn main() {
             );
             let gbps = report.zero_loss_bps as f64 / 1e9;
             let base = *reference.get_or_insert(gbps.max(1e-9));
-            table.row(&[
-                pkt.to_string(),
-                ring.to_string(),
-                format!("{gbps:.2}"),
-                pct(gbps / base),
-                report.trials.to_string(),
-            ]);
-            json.push(serde_json::json!({
-                "packet_bytes": pkt,
-                "ring": ring,
-                "zero_loss_gbps": gbps,
-                "relative_to_1024": gbps / base,
-            }));
+            fig.row(
+                &[
+                    pkt.to_string(),
+                    ring.to_string(),
+                    format!("{gbps:.2}"),
+                    pct(gbps / base),
+                    report.trials.to_string(),
+                ],
+                serde_json::json!({
+                    "packet_bytes": pkt,
+                    "ring": ring,
+                    "zero_loss_gbps": gbps,
+                    "relative_to_1024": gbps / base,
+                }),
+            );
         }
     }
-    table.print();
-    println!(
-        "\nPaper shape: 64 B traffic collapses as the ring shrinks (512 entries already\n\
+    fig.note(
+        "Paper shape: 64 B traffic collapses as the ring shrinks (512 entries already\n\
          loses >10%, 64 entries is a small fraction of line rate), while 1.5 KB traffic\n\
-         tolerates shrinking until the ring is ~1/8 of the default."
+         tolerates shrinking until the ring is ~1/8 of the default.",
     );
-    save_json("fig03", &serde_json::Value::Array(json));
+    fig.finish();
 }

@@ -5,16 +5,16 @@
 //! The paper reports up to 26% lower X-Mem throughput and 32% higher
 //! latency with DDIO overlap, even though no *core* shares those ways.
 
-use iat_bench::report::{f, pct, save_json, Table};
+use iat_bench::report::{f, pct, FigureReport};
 use iat_bench::scenarios;
 
 fn main() {
     let working_sets: [u64; 4] = [4 << 20, 8 << 20, 12 << 20, 16 << 20];
-    let mut table = Table::new(
+    let mut fig = FigureReport::new(
+        "fig04",
         "Fig. 4 — X-Mem with dedicated vs DDIO-overlapped ways (l3fwd @40G in background)",
         &["ws MB", "placement", "xmem Mops/s", "avg lat ns", "thr loss", "lat gain"],
     );
-    let mut json = Vec::new();
 
     for &ws in &working_sets {
         let mut results = Vec::new();
@@ -32,7 +32,7 @@ fn main() {
             results.push((mops, lat_ns));
         }
         let (ded, ovl) = (results[0], results[1]);
-        table.row(&[
+        fig.table_row(&[
             (ws >> 20).to_string(),
             "dedicated".into(),
             f(ded.0, 2),
@@ -40,7 +40,7 @@ fn main() {
             "-".into(),
             "-".into(),
         ]);
-        table.row(&[
+        fig.table_row(&[
             (ws >> 20).to_string(),
             "ddio-overlap".into(),
             f(ovl.0, 2),
@@ -48,7 +48,7 @@ fn main() {
             pct(1.0 - ovl.0 / ded.0),
             pct(ovl.1 / ded.1 - 1.0),
         ]);
-        json.push(serde_json::json!({
+        fig.json(serde_json::json!({
             "working_set_mb": ws >> 20,
             "dedicated": { "mops": ded.0, "avg_lat_ns": ded.1 },
             "ddio_overlap": { "mops": ovl.0, "avg_lat_ns": ovl.1 },
@@ -56,10 +56,9 @@ fn main() {
             "latency_gain": ovl.1 / ded.1 - 1.0,
         }));
     }
-    table.print();
-    println!(
-        "\nPaper shape: DDIO overlap hurts X-Mem even though no core shares those ways\n\
-         (paper: up to 26% throughput loss, 32% latency increase)."
+    fig.note(
+        "Paper shape: DDIO overlap hurts X-Mem even though no core shares those ways\n\
+         (paper: up to 26% throughput loss, 32% latency increase).",
     );
-    save_json("fig04", &serde_json::Value::Array(json));
+    fig.finish();
 }

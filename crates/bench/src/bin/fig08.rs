@@ -6,7 +6,7 @@
 //! DDIO hit count, DDIO miss count, memory bandwidth consumption, and
 //! OVS IPC / cycles-per-packet — the paper's Fig. 8a–d.
 
-use iat_bench::report::{f, save_json, Table};
+use iat_bench::report::{f, FigureReport};
 use iat_bench::scenarios::{self, PolicyKind};
 
 fn main() {
@@ -14,14 +14,14 @@ fn main() {
     let policies = [PolicyKind::Baseline(0), PolicyKind::Iat];
     let (warm, meas) = (6, 6);
 
-    let mut table = Table::new(
+    let mut fig = FigureReport::new(
+        "fig08",
         "Fig. 8 — DDIO behaviour and OVS performance vs packet size (aggregation, line rate)",
         &[
             "pkt", "policy", "ddio_hit/s", "ddio_miss/s", "mem GB/s", "ovs IPC", "ovs CPP",
             "fwd pkt/s", "ddio_ways",
         ],
     );
-    let mut json = Vec::new();
 
     for &size in &sizes {
         for &policy in &policies {
@@ -43,30 +43,31 @@ fn main() {
             let cpp = if ovs_metrics.ops == 0 { 0.0 } else { ovs_metrics.avg_op_cycles };
             let ddio_ways = m.platform.rdt().ddio_ways();
 
-            table.row(&[
-                size.to_string(),
-                policy.label().into(),
-                format!("{:.3e}", hits),
-                format!("{:.3e}", misses),
-                f(mem_gbs, 2),
-                f(ipc, 3),
-                f(cpp, 0),
-                format!("{:.3e}", fwd),
-                ddio_ways.to_string(),
-            ]);
-            json.push(serde_json::json!({
-                "packet_bytes": size,
-                "policy": policy.label(),
-                "ddio_hits_per_s": hits,
-                "ddio_misses_per_s": misses,
-                "mem_gbps": mem_gbs,
-                "ovs_ipc": ipc,
-                "ovs_cpp": cpp,
-                "forwarded_pps": fwd,
-                "ddio_ways": ddio_ways,
-            }));
+            fig.row(
+                &[
+                    size.to_string(),
+                    policy.label().into(),
+                    format!("{:.3e}", hits),
+                    format!("{:.3e}", misses),
+                    f(mem_gbs, 2),
+                    f(ipc, 3),
+                    f(cpp, 0),
+                    format!("{:.3e}", fwd),
+                    ddio_ways.to_string(),
+                ],
+                serde_json::json!({
+                    "packet_bytes": size,
+                    "policy": policy.label(),
+                    "ddio_hits_per_s": hits,
+                    "ddio_misses_per_s": misses,
+                    "mem_gbps": mem_gbs,
+                    "ovs_ipc": ipc,
+                    "ovs_cpp": cpp,
+                    "forwarded_pps": fwd,
+                    "ddio_ways": ddio_ways,
+                }),
+            );
         }
     }
-    table.print();
-    save_json("fig08", &serde_json::Value::Array(json));
+    fig.finish();
 }

@@ -3,7 +3,7 @@
 //! IAT detects the stack's LLC demand and grows its ways, keeping the
 //! LLC miss count lower and IPC higher than the static baseline.
 
-use iat_bench::report::{f, save_json, Table};
+use iat_bench::report::{f, FigureReport};
 use iat_bench::scenarios::{self, PolicyKind};
 
 fn main() {
@@ -11,11 +11,11 @@ fn main() {
     let policies = [PolicyKind::Baseline(0), PolicyKind::Iat];
     let (warm, meas) = (6, 6);
 
-    let mut table = Table::new(
+    let mut report = FigureReport::new(
+        "fig09",
         "Fig. 9 — OVS under growing flow counts (64 B line rate, aggregation)",
         &["flows", "policy", "ovs miss/s", "ovs missrate", "ovs IPC", "ovs ways", "fwd pkt/s"],
     );
-    let mut json = Vec::new();
 
     for &flows in &flow_counts {
         for &policy in &policies {
@@ -38,31 +38,32 @@ fn main() {
             let ways = m.platform.rdt().clos_mask(ovs_clos).count();
             let fwd = win.tenant(ovs).ops as f64 / win.seconds * scale;
 
-            table.row(&[
-                flows.to_string(),
-                policy.label().into(),
-                format!("{:.3e}", miss_rate_s),
-                f(d.miss_rate(), 3),
-                f(d.ipc, 3),
-                ways.to_string(),
-                format!("{:.3e}", fwd),
-            ]);
-            json.push(serde_json::json!({
-                "flows": flows,
-                "policy": policy.label(),
-                "ovs_llc_miss_per_s": miss_rate_s,
-                "ovs_miss_rate": d.miss_rate(),
-                "ovs_ipc": d.ipc,
-                "ovs_ways": ways,
-                "forwarded_pps": fwd,
-            }));
+            report.row(
+                &[
+                    flows.to_string(),
+                    policy.label().into(),
+                    format!("{:.3e}", miss_rate_s),
+                    f(d.miss_rate(), 3),
+                    f(d.ipc, 3),
+                    ways.to_string(),
+                    format!("{:.3e}", fwd),
+                ],
+                serde_json::json!({
+                    "flows": flows,
+                    "policy": policy.label(),
+                    "ovs_llc_miss_per_s": miss_rate_s,
+                    "ovs_miss_rate": d.miss_rate(),
+                    "ovs_ipc": d.ipc,
+                    "ovs_ways": ways,
+                    "forwarded_pps": fwd,
+                }),
+            );
         }
     }
-    table.print();
-    println!(
-        "\nPaper shape: beyond ~1k flows the static baseline's OVS suffers higher LLC\n\
+    report.note(
+        "Paper shape: beyond ~1k flows the static baseline's OVS suffers higher LLC\n\
          miss counts and lower IPC; IAT grows the stack's ways (Core Demand) and keeps\n\
-         IPC up (paper: up to 11.4% higher)."
+         IPC up (paper: up to 11.4% higher).",
     );
-    save_json("fig09", &serde_json::Value::Array(json));
+    report.finish();
 }

@@ -2,11 +2,17 @@
 //! packets under IAT, showing the LLC way allocation of every tenant plus
 //! DDIO, and container 4's LLC miss rate sampled at 0.1 s granularity (an
 //! independent observer, like the paper's side-band pqos process).
+//!
+//! Besides the time-series JSON, the run keeps a telemetry flight
+//! recorder on the daemon: the decision trace lands in
+//! `results/fig11.trace.jsonl` and its summary in
+//! `results/fig11.metrics.json`.
 
-use iat_bench::report::save_json;
+use iat_bench::report::{save_json, save_metrics, save_trace};
 use iat_bench::scenarios::{self, PolicyKind};
 use iat_cachesim::WayMask;
 use iat_platform::Recorder;
+use iat_telemetry::{summarize, RingRecorder};
 use iat_workloads::XMem;
 
 fn mask_str(m: WayMask) -> String {
@@ -20,6 +26,7 @@ fn main() {
     let (mut m, ids) = scenarios::slicing_pmd_xmem(1500, PolicyKind::IatNoDdioResize, 99);
     let pc = ids.pc;
     let mut recorder = Recorder::new();
+    let mut flight = RingRecorder::new(4096);
     let epochs_per_sample = 10; // 0.1 s at the 10 ms epoch
     let samples_per_interval = m.epochs_per_interval() / epochs_per_sample;
 
@@ -58,7 +65,8 @@ fn main() {
         }
         // Policy iteration once per second, as the daemon would.
         let poll = m.observe();
-        m.policy.step(m.platform.rdt_mut(), poll);
+        let now_ns = m.platform.time_ns();
+        m.policy.step_traced(m.platform.rdt_mut(), poll, now_ns, &mut flight);
 
         let rdt = m.platform.rdt();
         let masks: Vec<String> = m
@@ -91,4 +99,7 @@ fn main() {
          containers are shuffled onto DDIO's ways and container 4 stays isolated."
     );
     save_json("fig11", &serde_json::from_str(&recorder.to_json()).expect("valid json"));
+    let events = flight.drain();
+    save_trace("fig11.trace", &events);
+    save_metrics("fig11", &summarize(&events).snapshot());
 }

@@ -4,7 +4,7 @@
 //! baseline (min–max over randomly rotated initial layouts) and IAT
 //! (shuffle-enabled, tenant re-allocation disabled, per Sec. VI-C).
 
-use iat_bench::report::{f, save_json, Table};
+use iat_bench::report::{f, FigureReport};
 use iat_bench::scenarios::{self, NetApp, PcApp, PolicyKind};
 use iat_workloads::{SpecProfile, YcsbMix};
 
@@ -37,11 +37,11 @@ fn main() {
     let nets = [("redis", NetApp::Redis), ("fastclick", NetApp::FastClick)];
     let rotations = [0usize, 2, 4];
 
-    let mut table = Table::new(
+    let mut fig = FigureReport::new(
+        "fig12",
         "Fig. 12 — normalized execution time vs solo (1.0 = no slowdown)",
         &["pc app", "net app", "baseline min", "baseline max", "iat"],
     );
-    let mut json = Vec::new();
 
     for (pc_name, pc) in &pcs {
         // Solo rate of the PC app.
@@ -88,24 +88,25 @@ fn main() {
                 baseline_norms.iter().cloned().fold(f64::INFINITY, f64::min),
                 baseline_norms.iter().cloned().fold(0.0f64, f64::max),
             );
-            table.row(&[
-                pc_name.clone(),
-                (*net_name).into(),
-                f(bmin, 3),
-                f(bmax, 3),
-                f(iat_norm, 3),
-            ]);
-            json.push(serde_json::json!({
-                "pc": pc_name, "net": net_name,
-                "baseline_min": bmin, "baseline_max": bmax, "iat": iat_norm,
-            }));
+            fig.row(
+                &[
+                    pc_name.clone(),
+                    (*net_name).into(),
+                    f(bmin, 3),
+                    f(bmax, 3),
+                    f(iat_norm, 3),
+                ],
+                serde_json::json!({
+                    "pc": pc_name, "net": net_name,
+                    "baseline_min": bmin, "baseline_max": bmax, "iat": iat_norm,
+                }),
+            );
         }
     }
-    table.print();
-    println!(
-        "\nPaper shape: baseline degradations range up to ~15% (Redis) / ~25% (FastClick)\n\
+    fig.note(
+        "Paper shape: baseline degradations range up to ~15% (Redis) / ~25% (FastClick)\n\
          depending on whether the random layout overlapped DDIO; IAT holds every\n\
-         application within a few percent of solo."
+         application within a few percent of solo.",
     );
-    save_json("fig12", &serde_json::Value::Array(json));
+    fig.finish();
 }

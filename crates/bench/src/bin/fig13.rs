@@ -2,7 +2,7 @@
 //! A–F while co-running with the two networking applications, baseline
 //! (min–max over shuffled layouts) vs IAT.
 
-use iat_bench::report::{f, save_json, Table};
+use iat_bench::report::{f, FigureReport};
 use iat_bench::scenarios::{self, NetApp, PcApp, PolicyKind};
 use iat_workloads::YcsbMix;
 
@@ -18,11 +18,11 @@ fn rocks_latency(net: NetApp, mix: YcsbMix, policy: PolicyKind) -> f64 {
 fn main() {
     let nets = [("redis", NetApp::Redis), ("fastclick", NetApp::FastClick)];
     let rotations = [0usize, 2, 4];
-    let mut table = Table::new(
+    let mut fig = FigureReport::new(
+        "fig13",
         "Fig. 13 — RocksDB normalized weighted latency vs solo (1.0 = no slowdown)",
         &["ycsb", "net app", "baseline min", "baseline max", "iat"],
     );
-    let mut json = Vec::new();
 
     for mix in YcsbMix::all() {
         // Solo latency of RocksDB under this mix.
@@ -38,24 +38,25 @@ fn main() {
                 .collect();
             base.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             let iat = rocks_latency(*net, mix, PolicyKind::IatShuffleOnly) / solo;
-            table.row(&[
-                mix.name.into(),
-                (*net_name).into(),
-                f(base[0], 3),
-                f(*base.last().expect("nonempty"), 3),
-                f(iat, 3),
-            ]);
-            json.push(serde_json::json!({
-                "ycsb": mix.name, "net": net_name,
-                "baseline_min": base[0], "baseline_max": base.last(), "iat": iat,
-            }));
+            fig.row(
+                &[
+                    mix.name.into(),
+                    (*net_name).into(),
+                    f(base[0], 3),
+                    f(*base.last().expect("nonempty"), 3),
+                    f(iat, 3),
+                ],
+                serde_json::json!({
+                    "ycsb": mix.name, "net": net_name,
+                    "baseline_min": base[0], "baseline_max": base.last(), "iat": iat,
+                }),
+            );
         }
     }
-    table.print();
-    println!(
-        "\nPaper shape: baseline weighted latency up to 14.1% (Redis) / 19.7% (FastClick)\n\
+    fig.note(
+        "Paper shape: baseline weighted latency up to 14.1% (Redis) / 19.7% (FastClick)\n\
          longer than solo when the shuffled layout overlaps DDIO; IAT holds it to at\n\
-         most 6.4% / 9.9%."
+         most 6.4% / 9.9%.",
     );
-    save_json("fig13", &serde_json::Value::Array(json));
+    fig.finish();
 }

@@ -3,7 +3,7 @@
 //! (min–max over shuffled layouts) vs IAT — throughput, average latency
 //! and p99 latency, normalized to the solo run (Redis + OVS alone).
 
-use iat_bench::report::{f, save_json, Table};
+use iat_bench::report::{f, FigureReport};
 use iat_bench::scenarios::{self, NetApp, PcApp, PolicyKind};
 use iat_workloads::YcsbMix;
 
@@ -30,11 +30,11 @@ fn redis_perf(mix: YcsbMix, pc: PcApp, with_be: bool, policy: PolicyKind) -> Red
 
 fn main() {
     let rotations = [0usize, 2, 4];
-    let mut table = Table::new(
+    let mut fig = FigureReport::new(
+        "fig14",
         "Fig. 14 — Redis YCSB degradation vs solo: throughput / avg latency / p99",
         &["ycsb", "policy", "thr loss", "avg lat +", "p99 lat +"],
     );
-    let mut json = Vec::new();
 
     for mix in YcsbMix::all() {
         let solo = redis_perf(mix, PcApp::None, false, PolicyKind::Baseline(0));
@@ -42,7 +42,7 @@ fn main() {
         let mut worst: Option<RedisPerf> = None;
         for &r in &rotations {
             let p = redis_perf(mix, PcApp::Rocks(YcsbMix::a()), true, PolicyKind::Baseline(r));
-            if worst.map_or(true, |w| p.ops_per_s < w.ops_per_s) {
+            if worst.is_none_or(|w| p.ops_per_s < w.ops_per_s) {
                 worst = Some(p);
             }
         }
@@ -50,26 +50,27 @@ fn main() {
         let iat = redis_perf(mix, PcApp::Rocks(YcsbMix::a()), true, PolicyKind::IatShuffleOnly);
 
         for (label, p) in [("baseline", worst), ("iat", iat)] {
-            table.row(&[
-                mix.name.into(),
-                label.into(),
-                f(1.0 - p.ops_per_s / solo.ops_per_s, 3),
-                f(p.avg / solo.avg - 1.0, 3),
-                f(p.p99 / solo.p99 - 1.0, 3),
-            ]);
-            json.push(serde_json::json!({
-                "ycsb": mix.name, "policy": label,
-                "throughput_loss": 1.0 - p.ops_per_s / solo.ops_per_s,
-                "avg_latency_increase": p.avg / solo.avg - 1.0,
-                "p99_latency_increase": p.p99 / solo.p99 - 1.0,
-            }));
+            fig.row(
+                &[
+                    mix.name.into(),
+                    label.into(),
+                    f(1.0 - p.ops_per_s / solo.ops_per_s, 3),
+                    f(p.avg / solo.avg - 1.0, 3),
+                    f(p.p99 / solo.p99 - 1.0, 3),
+                ],
+                serde_json::json!({
+                    "ycsb": mix.name, "policy": label,
+                    "throughput_loss": 1.0 - p.ops_per_s / solo.ops_per_s,
+                    "avg_latency_increase": p.avg / solo.avg - 1.0,
+                    "p99_latency_increase": p.p99 / solo.p99 - 1.0,
+                }),
+            );
         }
     }
-    table.print();
-    println!(
-        "\nPaper shape: worst-case baseline layouts cost Redis 7.1–24.5% throughput,\n\
+    fig.note(
+        "Paper shape: worst-case baseline layouts cost Redis 7.1–24.5% throughput,\n\
          7.9–26.5% average and 10.1–20.4% tail latency; IAT limits the damage to\n\
-         2.8–5.6% / 2.9–8.9% / 2.8–8.7%."
+         2.8–5.6% / 2.9–8.9% / 2.8–8.7%.",
     );
-    save_json("fig14", &serde_json::Value::Array(json));
+    fig.finish();
 }

@@ -8,7 +8,7 @@
 //! implementation's step function.
 
 use iat::{IatConfig, IatDaemon, IatFlags, Priority, TenantInfo};
-use iat_bench::report::{f, save_json, Table};
+use iat_bench::report::{f, FigureReport};
 use iat_cachesim::AgentId;
 use iat_perf::{CoreCounters, Poll, SystemSample, TenantSample};
 use iat_rdt::{ClosId, Rdt};
@@ -53,11 +53,11 @@ fn poll(count: usize, cores_each: usize, base: u64, jitter: f64) -> Poll {
 }
 
 fn main() {
-    let mut table = Table::new(
+    let mut fig = FigureReport::new(
+        "fig15",
         "Fig. 15 — IAT iteration execution time (modelled, us)",
         &["tenants", "cores/tenant", "stable us", "unstable us"],
     );
-    let mut json = Vec::new();
 
     for &cores_each in &[1usize, 2] {
         for &count in &[2usize, 4, 6, 8] {
@@ -82,18 +82,20 @@ fn main() {
             let unstable = daemon.step(&mut rdt, poll(count, cores_each, acc + 1_400_000, 1.4));
             assert!(!unstable.stable);
 
-            table.row(&[
-                count.to_string(),
-                cores_each.to_string(),
-                f(stable.cost_ns / 1000.0, 1),
-                f(unstable.cost_ns / 1000.0, 1),
-            ]);
-            json.push(serde_json::json!({
-                "tenants": count,
-                "cores_per_tenant": cores_each,
-                "stable_us": stable.cost_ns / 1000.0,
-                "unstable_us": unstable.cost_ns / 1000.0,
-            }));
+            fig.row(
+                &[
+                    count.to_string(),
+                    cores_each.to_string(),
+                    f(stable.cost_ns / 1000.0, 1),
+                    f(unstable.cost_ns / 1000.0, 1),
+                ],
+                serde_json::json!({
+                    "tenants": count,
+                    "cores_per_tenant": cores_each,
+                    "stable_us": stable.cost_ns / 1000.0,
+                    "unstable_us": unstable.cost_ns / 1000.0,
+                }),
+            );
         }
     }
     // CAT offers 16 CLOS but only 11 ways; beyond ~9 tenants the paper
@@ -101,22 +103,18 @@ fn main() {
     // modelled exactly for those sizes:
     for &count in &[12usize, 16] {
         let cost = iat_perf::CostModel::default().poll_ns(&vec![1; count]);
-        table.row(&[
-            count.to_string(),
-            "1".into(),
-            f(cost / 1000.0, 1),
-            "-".into(),
-        ]);
-        json.push(serde_json::json!({
-            "tenants": count, "cores_per_tenant": 1,
-            "stable_us": cost / 1000.0, "unstable_us": null,
-        }));
+        fig.row(
+            &[count.to_string(), "1".into(), f(cost / 1000.0, 1), "-".into()],
+            serde_json::json!({
+                "tenants": count, "cores_per_tenant": 1,
+                "stable_us": cost / 1000.0, "unstable_us": null,
+            }),
+        );
     }
-    table.print();
-    println!(
-        "\nPaper shape: cost grows sub-linearly with monitored cores, is dominated by\n\
+    fig.note(
+        "Paper shape: cost grows sub-linearly with monitored cores, is dominated by\n\
          Poll Prof Data (the stable component), and stays under 800 us even at the\n\
-         largest tenant counts; re-allocation adds only a few microseconds."
+         largest tenant counts; re-allocation adds only a few microseconds.",
     );
-    save_json("fig15", &serde_json::Value::Array(json));
+    fig.finish();
 }

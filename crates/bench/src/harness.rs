@@ -4,6 +4,7 @@
 use iat::{LlcPolicy, StepReport, TenantInfo};
 use iat_perf::{DdioSampleMode, IntervalDeltas, Monitor, Poll};
 use iat_platform::Platform;
+use iat_telemetry::{Recorder, Stamp};
 
 /// A platform under management by an LLC policy.
 ///
@@ -17,6 +18,7 @@ pub struct Managed {
     pub policy: Box<dyn LlcPolicy>,
     monitor: Monitor,
     epochs_per_interval: usize,
+    intervals: u64,
     last_poll: Option<Poll>,
     last_report: Option<StepReport>,
 }
@@ -35,7 +37,15 @@ impl Managed {
         let monitor = Monitor::new(spec, DdioSampleMode::OneSlice(0));
         policy.set_tenants(tenants, platform.rdt_mut());
         let epochs_per_interval = (interval_ns / platform.config().epoch_ns).max(1) as usize;
-        Managed { platform, policy, monitor, epochs_per_interval, last_poll: None, last_report: None }
+        Managed {
+            platform,
+            policy,
+            monitor,
+            epochs_per_interval,
+            intervals: 0,
+            last_poll: None,
+            last_report: None,
+        }
     }
 
     /// Epochs executed per policy interval.
@@ -51,10 +61,23 @@ impl Managed {
     /// Runs one policy interval: platform epochs, then a poll, then the
     /// policy step. Returns the policy's report.
     pub fn step_interval(&mut self) -> StepReport {
+        self.step_interval_traced(&mut iat_telemetry::NullRecorder)
+    }
+
+    /// [`Managed::step_interval`] with a structured trace: the poll
+    /// emits its [`iat_telemetry::Event::PollSample`], the policy
+    /// narrates its decision, and the platform sweeps per-VF ring
+    /// occupancy and drop telemetry — all stamped with the interval
+    /// number and the simulated time at the end of the interval.
+    pub fn step_interval_traced(&mut self, rec: &mut dyn Recorder) -> StepReport {
         self.platform.run_epochs(self.epochs_per_interval);
-        let poll = self.monitor.poll(self.platform.llc(), self.platform.bank());
+        self.intervals += 1;
+        let stamp = Stamp { iter: self.intervals, time_ns: self.platform.time_ns() };
+        let poll =
+            self.monitor.poll_traced(self.platform.llc(), self.platform.bank(), stamp, rec);
         self.last_poll = Some(poll.clone());
-        let report = self.policy.step(self.platform.rdt_mut(), poll);
+        self.platform.sweep_nic_telemetry(stamp, rec);
+        let report = self.policy.step_traced(self.platform.rdt_mut(), poll, stamp.time_ns, rec);
         self.last_report = Some(report);
         report
     }
@@ -64,6 +87,18 @@ impl Managed {
         for _ in 0..n {
             self.step_interval();
         }
+    }
+
+    /// Runs `n` intervals with a structured trace.
+    pub fn run_intervals_traced(&mut self, n: usize, rec: &mut dyn Recorder) {
+        for _ in 0..n {
+            self.step_interval_traced(rec);
+        }
+    }
+
+    /// Intervals executed so far.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
     }
 
     /// Takes a fresh cumulative poll without advancing the platform or the

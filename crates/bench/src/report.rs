@@ -1,6 +1,8 @@
 //! Reporting helpers: aligned console tables plus JSON dumps under
-//! `results/` so EXPERIMENTS.md numbers are regenerable.
+//! `results/` so EXPERIMENTS.md numbers are regenerable, and telemetry
+//! trace/metrics sinks for per-run flight-recorder output.
 
+use iat_telemetry::{Event, JsonlRecorder, MetricsSnapshot, Recorder as _};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -77,15 +79,95 @@ pub fn pct(v: f64) -> String {
 /// Writes a JSON value under `results/<name>.json` (relative to the
 /// workspace root when run via cargo).
 pub fn save_json(name: &str, value: &serde_json::Value) {
+    save_bytes(
+        &format!("{name}.json"),
+        serde_json::to_string_pretty(value).expect("serializable").as_bytes(),
+    );
+}
+
+/// Writes a telemetry event trace as JSON lines under
+/// `results/<name>.jsonl`, one event object per line.
+pub fn save_trace(name: &str, events: &[Event]) {
+    let mut rec = JsonlRecorder::new(Vec::new());
+    for e in events {
+        rec.record(e.clone());
+    }
+    let bytes = rec.into_inner();
+    save_bytes(&format!("{name}.jsonl"), &bytes);
+}
+
+/// Writes a metrics summary under `results/<name>.metrics.json`.
+pub fn save_metrics(name: &str, metrics: &MetricsSnapshot) {
+    save_bytes(&format!("{name}.metrics.json"), metrics.to_json().pretty().as_bytes());
+}
+
+fn save_bytes(file: &str, bytes: &[u8]) {
     let dir = Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
-        eprintln!("warning: could not create results/; skipping JSON dump");
+        eprintln!("warning: could not create results/; skipping {file}");
         return;
     }
-    let path = dir.join(format!("{name}.json"));
-    match std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable")) {
+    let path = dir.join(file);
+    match std::fs::write(&path, bytes) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// The shared figure-binary skeleton: an aligned table, a parallel JSON
+/// row list, an optional closing "Paper shape" note, and the
+/// `results/<name>.json` dump — rendered byte-identically to the
+/// hand-rolled plumbing the `fig*` binaries used to repeat.
+#[derive(Debug)]
+pub struct FigureReport {
+    name: String,
+    table: Table,
+    json: Vec<serde_json::Value>,
+    note: Option<String>,
+}
+
+impl FigureReport {
+    /// Creates the report; `name` is the `results/` file stem (e.g.
+    /// `"fig08"`), `title` and `header` configure the console table.
+    pub fn new(name: &str, title: &str, header: &[&str]) -> Self {
+        FigureReport {
+            name: name.to_owned(),
+            table: Table::new(title, header),
+            json: Vec::new(),
+            note: None,
+        }
+    }
+
+    /// Appends one table row and its JSON record.
+    pub fn row(&mut self, cells: &[String], json: serde_json::Value) {
+        self.table.row(cells);
+        self.json.push(json);
+    }
+
+    /// Appends a table row with no JSON record (for figures whose JSON
+    /// granularity differs from the table's).
+    pub fn table_row(&mut self, cells: &[String]) {
+        self.table.row(cells);
+    }
+
+    /// Appends a JSON record with no table row.
+    pub fn json(&mut self, json: serde_json::Value) {
+        self.json.push(json);
+    }
+
+    /// Sets the closing note printed after the table (without the
+    /// leading blank line, which `finish` adds).
+    pub fn note(&mut self, text: &str) {
+        self.note = Some(text.to_owned());
+    }
+
+    /// Prints the table (and note), then saves `results/<name>.json`.
+    pub fn finish(self) {
+        self.table.print();
+        if let Some(n) = &self.note {
+            println!("\n{n}");
+        }
+        save_json(&self.name, &serde_json::Value::Array(self.json));
     }
 }
 

@@ -9,6 +9,7 @@ use crate::trend::Trend;
 use iat_cachesim::WayMask;
 use iat_perf::{CostModel, DeltaWindow, IntervalDeltas, Poll};
 use iat_rdt::Rdt;
+use iat_telemetry::{Event, NullRecorder, Recorder, Stamp};
 
 /// Feature flags selecting which parts of the engine are active. The
 /// paper's baselines and ablations are expressed as flag combinations.
@@ -215,28 +216,40 @@ impl IatDaemon {
     /// **Poll Prof Data → State Transition → LLC Re-alloc** (steps 3–5):
     /// one daemon iteration, driven by a fresh cumulative `poll`.
     pub fn step(&mut self, rdt: &mut Rdt, poll: Poll) -> StepReport {
+        self.step_traced(rdt, poll, 0, &mut NullRecorder)
+    }
+
+    /// [`IatDaemon::step`] with a structured decision trace.
+    ///
+    /// Every iteration ends in one [`Event::Decision`]; unstable
+    /// iterations that reach the FSM additionally emit an
+    /// [`Event::FsmTransition`] (self-edges included), and every
+    /// re-allocation emits its resize/shuffle event plus one
+    /// [`Event::MaskWrite`] per register actually written (drained from
+    /// the [`Rdt`] write journal). `now_ns` stamps the events with
+    /// simulated time. With a [`NullRecorder`] this is `step` exactly:
+    /// the journal stays off and no event is ever constructed.
+    pub fn step_traced(
+        &mut self,
+        rdt: &mut Rdt,
+        poll: Poll,
+        now_ns: u64,
+        rec: &mut dyn Recorder,
+    ) -> StepReport {
         self.iterations += 1;
+        let stamp = Stamp { iter: self.iterations, time_ns: now_ns };
+        if rec.enabled() {
+            rdt.enable_journal();
+        }
         let mut cost_ns = poll.cost_ns;
         let writes_before = rdt.msr_writes();
 
         // Turn cumulative counters into interval deltas.
         let Some(cur) = self.window.advance(poll) else {
-            return StepReport {
-                state: self.state,
-                action: Action::None,
-                stable: true,
-                cost_ns,
-                msr_writes: 0,
-            };
+            return self.stable_report(rdt, cost_ns, stamp, rec);
         };
         let Some(prev) = self.prev.replace(cur.clone()) else {
-            return StepReport {
-                state: self.state,
-                action: Action::None,
-                stable: true,
-                cost_ns,
-                msr_writes: 0,
-            };
+            return self.stable_report(rdt, cost_ns, stamp, rec);
         };
 
         let th = self.config.threshold_stable;
@@ -308,13 +321,7 @@ impl IatDaemon {
             || reclaim_pending
             || tenant_trends.iter().any(|t| t.ipc.changed() || t.refs.changed() || t.miss.changed());
         if !unstable {
-            return StepReport {
-                state: self.state,
-                action: Action::None,
-                stable: true,
-                cost_ns,
-                msr_writes: 0,
-            };
+            return self.stable_report(rdt, cost_ns, stamp, rec);
         }
 
         cost_ns += self.cost.fsm_eval_ns;
@@ -327,7 +334,7 @@ impl IatDaemon {
             && tenant_trends.iter().all(|t| !t.refs.changed() && !t.miss.changed());
         if only_ipc {
             // Case (1): neither cache/memory nor I/O; ignore.
-            return self.finish(rdt, Action::None, false, cost_ns, writes_before);
+            return self.finish(rdt, Action::None, false, cost_ns, writes_before, stamp, rec);
         }
 
         let ddio_mask = rdt.ddio_mask();
@@ -340,9 +347,12 @@ impl IatDaemon {
                 .iter()
                 .any(|t| rdt.clos_mask(t.clos).overlaps(ddio_mask));
             if violated {
+                if rec.enabled() {
+                    rec.record(Event::Shuffle { stamp, reason: "exclude-violation".to_string() });
+                }
                 let placements = self.plan(&refs_now, rdt.ddio_ways());
                 apply(&placements, rdt);
-                return self.finish(rdt, Action::Shuffle, false, cost_ns, writes_before);
+                return self.finish(rdt, Action::Shuffle, false, cost_ns, writes_before, stamp, rec);
             }
         }
 
@@ -366,9 +376,25 @@ impl IatDaemon {
         });
         if let Some((idx, _)) = candidate {
             if self.flags.tenant_realloc && self.try_grow_tenant(idx, rdt.ddio_ways()) {
+                if rec.enabled() {
+                    rec.record(Event::TenantResize {
+                        stamp,
+                        agent: self.tenants[idx].agent.index(),
+                        from_ways: self.way_counts[idx] - 1,
+                        to_ways: self.way_counts[idx],
+                    });
+                }
                 let placements = self.plan(&refs_now, rdt.ddio_ways());
                 apply(&placements, rdt);
-                return self.finish(rdt, Action::GrowTenant(idx), false, cost_ns, writes_before);
+                return self.finish(
+                    rdt,
+                    Action::GrowTenant(idx),
+                    false,
+                    cost_ns,
+                    writes_before,
+                    stamp,
+                    rec,
+                );
             }
         }
 
@@ -387,15 +413,29 @@ impl IatDaemon {
                     .iter()
                     .any(|p| rdt.clos_mask(p.clos) != p.mask);
                 if changed {
+                    if rec.enabled() {
+                        rec.record(Event::Shuffle {
+                            stamp,
+                            reason: "overlap-degraded".to_string(),
+                        });
+                    }
                     apply(&placements, rdt);
-                    return self.finish(rdt, Action::Shuffle, false, cost_ns, writes_before);
+                    return self.finish(
+                        rdt,
+                        Action::Shuffle,
+                        false,
+                        cost_ns,
+                        writes_before,
+                        stamp,
+                        rec,
+                    );
                 }
             }
         }
 
         if !self.flags.io_demand {
             // Without the FSM there is nothing else to do.
-            return self.finish(rdt, Action::None, false, cost_ns, writes_before);
+            return self.finish(rdt, Action::None, false, cost_ns, writes_before, stamp, rec);
         }
 
         // State Transition (Fig. 6).
@@ -410,6 +450,16 @@ impl IatDaemon {
             at_max: ddio_ways >= self.config.ddio_ways_max,
         };
         let next = fsm::next_state(self.state, signals);
+        if rec.enabled() {
+            rec.record(Event::FsmTransition {
+                stamp,
+                from: self.state.to_string(),
+                to: next.to_string(),
+                miss_high: signals.miss_high,
+                at_min: signals.at_min,
+                at_max: signals.at_max,
+            });
+        }
         self.transitions += 1;
         self.state = next;
 
@@ -422,6 +472,13 @@ impl IatDaemon {
                     let target = (ddio_ways + step).min(self.config.ddio_ways_max);
                     rdt.set_ddio_mask(self.ddio_mask_for(target))
                         .expect("valid ddio mask");
+                    if rec.enabled() {
+                        rec.record(Event::DdioResize {
+                            stamp,
+                            from_ways: ddio_ways,
+                            to_ways: target,
+                        });
+                    }
                     Action::GrowDdio
                 } else {
                     Action::None
@@ -431,6 +488,14 @@ impl IatDaemon {
                 if self.flags.tenant_realloc {
                     match self.select_core_demand_tenant(&prev, &cur) {
                         Some(idx) if self.try_grow_tenant(idx, rdt.ddio_ways()) => {
+                            if rec.enabled() {
+                                rec.record(Event::TenantResize {
+                                    stamp,
+                                    agent: self.tenants[idx].agent.index(),
+                                    from_ways: self.way_counts[idx] - 1,
+                                    to_ways: self.way_counts[idx],
+                                });
+                            }
                             Action::GrowTenant(idx)
                         }
                         _ => Action::None,
@@ -443,11 +508,26 @@ impl IatDaemon {
                 if ddio_ways > self.config.ddio_ways_min {
                     rdt.set_ddio_mask(self.ddio_mask_for(ddio_ways - 1))
                         .expect("valid ddio mask");
+                    if rec.enabled() {
+                        rec.record(Event::DdioResize {
+                            stamp,
+                            from_ways: ddio_ways,
+                            to_ways: ddio_ways - 1,
+                        });
+                    }
                     Action::ShrinkDdio
                 } else if self.flags.tenant_realloc {
                     match self.select_reclaim_tenant(&refs_now) {
                         Some(idx) => {
                             self.way_counts[idx] -= 1;
+                            if rec.enabled() {
+                                rec.record(Event::TenantResize {
+                                    stamp,
+                                    agent: self.tenants[idx].agent.index(),
+                                    from_ways: self.way_counts[idx] + 1,
+                                    to_ways: self.way_counts[idx],
+                                });
+                            }
                             Action::ShrinkTenant(idx)
                         }
                         None => Action::None,
@@ -463,21 +543,47 @@ impl IatDaemon {
             let placements = self.plan(&refs_now, rdt.ddio_ways());
             apply(&placements, rdt);
         }
-        self.finish(rdt, action, false, cost_ns, writes_before)
+        self.finish(rdt, action, false, cost_ns, writes_before, stamp, rec)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &mut self,
-        rdt: &Rdt,
+        rdt: &mut Rdt,
         action: Action,
         stable: bool,
         mut cost_ns: f64,
         writes_before: u64,
+        stamp: Stamp,
+        rec: &mut dyn Recorder,
     ) -> StepReport {
         let msr_writes = rdt.msr_writes() - writes_before;
         cost_ns += self.cost.realloc_ns(msr_writes);
         self.last_action = action;
-        StepReport { state: self.state, action, stable, cost_ns, msr_writes }
+        let report = StepReport { state: self.state, action, stable, cost_ns, msr_writes };
+        flush_trace(rdt, stamp, &report, rec);
+        report
+    }
+
+    /// The early-return stable report: no FSM, no re-alloc, no
+    /// `last_action` update — identical to the untraced daemon, plus the
+    /// per-iteration [`Event::Decision`].
+    fn stable_report(
+        &self,
+        rdt: &mut Rdt,
+        cost_ns: f64,
+        stamp: Stamp,
+        rec: &mut dyn Recorder,
+    ) -> StepReport {
+        let report = StepReport {
+            state: self.state,
+            action: Action::None,
+            stable: true,
+            cost_ns,
+            msr_writes: 0,
+        };
+        flush_trace(rdt, stamp, &report, rec);
+        report
     }
 
     /// Ways to move this iteration under the configured growth policy.
@@ -553,6 +659,33 @@ fn apply(placements: &[Placement], rdt: &mut Rdt) {
             rdt.set_clos_mask(p.clos, p.mask).expect("planner produces valid masks");
         }
     }
+}
+
+/// Drains the register-write journal into [`Event::MaskWrite`]s, turns
+/// the journal back off, and closes the iteration with its
+/// [`Event::Decision`]. No-op (and no journal interaction) when the
+/// recorder is disabled.
+fn flush_trace(rdt: &mut Rdt, stamp: Stamp, report: &StepReport, rec: &mut dyn Recorder) {
+    if !rec.enabled() {
+        return;
+    }
+    for w in rdt.drain_journal() {
+        rec.record(Event::MaskWrite {
+            stamp,
+            target: w.target.name().to_string(),
+            clos: w.clos,
+            mask: w.bits,
+        });
+    }
+    rdt.disable_journal();
+    rec.record(Event::Decision {
+        stamp,
+        state: report.state.to_string(),
+        action: format!("{:?}", report.action),
+        stable: report.stable,
+        msr_writes: report.msr_writes,
+        cost_ns: report.cost_ns as u64,
+    });
 }
 
 #[cfg(test)]

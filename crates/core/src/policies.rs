@@ -12,6 +12,7 @@ use crate::layout::LayoutPlanner;
 use crate::tenant_info::TenantInfo;
 use iat_perf::Poll;
 use iat_rdt::Rdt;
+use iat_telemetry::Recorder;
 
 /// An LLC management policy stepped once per polling interval.
 pub trait LlcPolicy {
@@ -23,6 +24,21 @@ pub trait LlcPolicy {
 
     /// One management iteration given a fresh cumulative counter poll.
     fn step(&mut self, rdt: &mut Rdt, poll: Poll) -> StepReport;
+
+    /// [`LlcPolicy::step`] with a structured decision trace.
+    ///
+    /// The default ignores the recorder — static policies have no
+    /// decisions to narrate; [`IatDaemon`] overrides it.
+    fn step_traced(
+        &mut self,
+        rdt: &mut Rdt,
+        poll: Poll,
+        now_ns: u64,
+        rec: &mut dyn Recorder,
+    ) -> StepReport {
+        let _ = (now_ns, rec);
+        self.step(rdt, poll)
+    }
 }
 
 impl LlcPolicy for IatDaemon {
@@ -43,6 +59,16 @@ impl LlcPolicy for IatDaemon {
 
     fn step(&mut self, rdt: &mut Rdt, poll: Poll) -> StepReport {
         IatDaemon::step(self, rdt, poll)
+    }
+
+    fn step_traced(
+        &mut self,
+        rdt: &mut Rdt,
+        poll: Poll,
+        now_ns: u64,
+        rec: &mut dyn Recorder,
+    ) -> StepReport {
+        IatDaemon::step_traced(self, rdt, poll, now_ns, rec)
     }
 }
 

@@ -54,6 +54,7 @@ pub struct RxRing {
     tail: u64,
     slots: Vec<Option<PacketSlot>>,
     drops: u64,
+    high_water: usize,
 }
 
 impl RxRing {
@@ -92,6 +93,7 @@ impl RxRing {
             tail: 0,
             slots: vec![None; capacity],
             drops: 0,
+            high_water: 0,
         }
     }
 
@@ -123,6 +125,18 @@ impl RxRing {
     /// Resets the drop counter (between experiment phases).
     pub fn reset_drops(&mut self) {
         self.drops = 0;
+    }
+
+    /// Peak occupancy (in slots) since creation or the last
+    /// [`RxRing::reset_high_water`] — the backlog telemetry a sampling
+    /// observer would miss between polls.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Resets the peak-occupancy tracker (e.g. per polling interval).
+    pub fn reset_high_water(&mut self) {
+        self.high_water = self.len();
     }
 
     /// Buffer pool size in mbufs.
@@ -162,6 +176,7 @@ impl RxRing {
         self.pool_cursor += 1;
         self.slots[idx] = Some(slot);
         self.head += 1;
+        self.high_water = self.high_water.max(self.len());
         Some(idx)
     }
 
@@ -227,6 +242,16 @@ impl TxRing {
     /// Packets the core failed to queue because the ring was full.
     pub fn drops(&self) -> u64 {
         self.inner.drops()
+    }
+
+    /// Peak occupancy since creation or the last reset.
+    pub fn high_water(&self) -> usize {
+        self.inner.high_water()
+    }
+
+    /// Resets the peak-occupancy tracker.
+    pub fn reset_high_water(&mut self) {
+        self.inner.reset_high_water()
     }
 
     /// Buffer base address of slot `idx`.
@@ -330,6 +355,25 @@ mod tests {
     #[should_panic(expected = "pool smaller than ring")]
     fn pool_must_cover_ring() {
         let _ = RxRing::with_pool(0, 8, 2048, 4);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_backlog() {
+        let mut r = RxRing::new(0, 4, 2048);
+        assert_eq!(r.high_water(), 0);
+        r.push(PacketSlot::new(FlowId(0), 64)).unwrap();
+        r.push(PacketSlot::new(FlowId(0), 64)).unwrap();
+        r.push(PacketSlot::new(FlowId(0), 64)).unwrap();
+        r.pop();
+        r.pop();
+        // Peak was 3 even though only 1 remains.
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.high_water(), 3);
+        // Reset re-bases on the current backlog, not zero.
+        r.reset_high_water();
+        assert_eq!(r.high_water(), 1);
+        r.push(PacketSlot::new(FlowId(0), 64)).unwrap();
+        assert_eq!(r.high_water(), 2);
     }
 
     #[test]

@@ -74,7 +74,7 @@ mod tests {
     fn paper_envelope() {
         // 16 tenants x 1 core stays under the paper's 800 us ceiling.
         let m = CostModel::default();
-        let ns = m.poll_ns(&vec![1; 16]);
+        let ns = m.poll_ns(&[1; 16]);
         assert!(ns < 800_000.0, "poll cost {ns} ns exceeds paper envelope");
         // And is non-trivial (at least tens of microseconds).
         assert!(ns > 50_000.0);

@@ -5,7 +5,9 @@ use crate::tenant::{Tenant, TenantId};
 use iat_cachesim::{Llc, MemoryHierarchy};
 use iat_perf::{CounterBank, MonitorSpec, TenantSpec};
 use iat_rdt::Rdt;
+use iat_telemetry::{Event, Recorder, Stamp};
 use iat_workloads::{Channels, ExecCtx, WorkloadMetrics};
+use std::collections::BTreeMap;
 
 /// What happened during one epoch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -49,6 +51,9 @@ pub struct Platform {
     channels: Channels,
     tenants: Vec<Tenant>,
     time_ns: u64,
+    /// Cumulative per-port drop counts at the last telemetry sweep,
+    /// keyed by (tenant, port index), so sweeps emit interval deltas.
+    vf_drop_base: BTreeMap<(TenantId, usize), u64>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -72,6 +77,7 @@ impl Platform {
             channels: Channels::new(),
             tenants: Vec::new(),
             time_ns: 0,
+            vf_drop_base: BTreeMap::new(),
         }
     }
 
@@ -298,6 +304,35 @@ impl Platform {
     /// Epochs per modelled second.
     pub fn epochs_per_second(&self) -> usize {
         (1_000_000_000 / self.config.epoch_ns) as usize
+    }
+
+    /// One NIC telemetry sweep: emits, for every VF port of every
+    /// tenant, an [`Event::RingOccupancy`] carrying the Rx ring's *peak*
+    /// backlog since the previous sweep (then re-bases the tracker), and
+    /// an [`Event::NicDrop`] when packets were dropped since the
+    /// previous sweep. With a disabled recorder nothing is read or
+    /// reset, so untraced runs are unaffected.
+    pub fn sweep_nic_telemetry(&mut self, stamp: Stamp, rec: &mut dyn Recorder) {
+        if !rec.enabled() {
+            return;
+        }
+        for t in &mut self.tenants {
+            for (pi, port) in t.workload.ports_mut().iter_mut().enumerate() {
+                let vf = port.id().0 as u16;
+                rec.record(Event::RingOccupancy {
+                    stamp,
+                    vf,
+                    len: port.rx.high_water() as u32,
+                    capacity: port.rx.capacity() as u32,
+                });
+                port.rx.reset_high_water();
+                let dropped = port.dma.rx_dropped;
+                let base = self.vf_drop_base.insert((t.id, pi), dropped).unwrap_or(0);
+                if dropped > base {
+                    rec.record(Event::NicDrop { stamp, vf, dropped: dropped - base });
+                }
+            }
+        }
     }
 }
 

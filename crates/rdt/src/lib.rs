@@ -122,6 +122,41 @@ impl std::error::Error for RdtError {}
 /// Convenient alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, RdtError>;
 
+/// Which model register a journalled write hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegTarget {
+    /// A CAT capacity bitmask (CBM) write.
+    Clos,
+    /// A core-to-CLOS association (PQR_ASSOC) write.
+    Assoc,
+    /// The IIO LLC WAYS (DDIO) register.
+    Ddio,
+}
+
+impl RegTarget {
+    /// Stable lower-case name, for telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegTarget::Clos => "clos",
+            RegTarget::Assoc => "assoc",
+            RegTarget::Ddio => "iio",
+        }
+    }
+}
+
+/// One successful register write, as captured by the opt-in journal
+/// (see [`Rdt::enable_journal`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegWrite {
+    /// Register written.
+    pub target: RegTarget,
+    /// CLOS index for [`RegTarget::Clos`] writes, the newly associated
+    /// CLOS for [`RegTarget::Assoc`] writes, 0 for [`RegTarget::Ddio`].
+    pub clos: u8,
+    /// Mask bits written (the core index for [`RegTarget::Assoc`]).
+    pub bits: u32,
+}
+
 /// The RDT register file of one socket: CAT CBMs, core associations, and
 /// the DDIO ways register.
 #[derive(Debug, Clone)]
@@ -131,6 +166,9 @@ pub struct Rdt {
     core_clos: Vec<ClosId>,
     ddio_mask: WayMask,
     msr_writes: u64,
+    /// Opt-in journal of successful writes; empty unless enabled.
+    journal: Vec<RegWrite>,
+    journal_enabled: bool,
 }
 
 impl Rdt {
@@ -153,6 +191,33 @@ impl Rdt {
             core_clos: vec![ClosId::DEFAULT; cores],
             ddio_mask: WayMask::contiguous(ways - 2, 2).expect("ways >= 2"),
             msr_writes: 0,
+            journal: Vec::new(),
+            journal_enabled: false,
+        }
+    }
+
+    /// Starts journalling successful register writes for telemetry.
+    ///
+    /// Disabled by default; when disabled the journal costs nothing.
+    pub fn enable_journal(&mut self) {
+        self.journal_enabled = true;
+    }
+
+    /// Stops journalling and discards anything buffered.
+    pub fn disable_journal(&mut self) {
+        self.journal_enabled = false;
+        self.journal.clear();
+    }
+
+    /// Takes the journalled writes accumulated since the last drain,
+    /// oldest first. Empty unless [`Rdt::enable_journal`] was called.
+    pub fn drain_journal(&mut self) -> Vec<RegWrite> {
+        std::mem::take(&mut self.journal)
+    }
+
+    fn journal_write(&mut self, target: RegTarget, clos: u8, bits: u32) {
+        if self.journal_enabled {
+            self.journal.push(RegWrite { target, clos, bits });
         }
     }
 
@@ -194,6 +259,7 @@ impl Rdt {
         self.check_cbm(mask)?;
         self.clos_masks[clos.index()] = mask;
         self.msr_writes += 1;
+        self.journal_write(RegTarget::Clos, clos.0, mask.bits());
         Ok(())
     }
 
@@ -213,6 +279,7 @@ impl Rdt {
         }
         self.core_clos[core] = clos;
         self.msr_writes += 1;
+        self.journal_write(RegTarget::Assoc, clos.0, core as u32);
         Ok(())
     }
 
@@ -251,6 +318,7 @@ impl Rdt {
         }
         self.ddio_mask = mask;
         self.msr_writes += 1;
+        self.journal_write(RegTarget::Ddio, 0, mask.bits());
         Ok(())
     }
 
@@ -352,6 +420,33 @@ mod tests {
         // DDIO default ways {9,10}; used clos cover {0..4}; idle = {5..8}.
         let idle = rdt.idle_ways(&[c1, c2]);
         assert_eq!(idle, WayMask::contiguous(5, 4).unwrap());
+    }
+
+    #[test]
+    fn journal_captures_successful_writes_only() {
+        let mut rdt = Rdt::new(11, 2);
+        // Disabled by default: writes leave no trace.
+        rdt.set_clos_mask(ClosId::new(1), WayMask::single(0)).unwrap();
+        assert!(rdt.drain_journal().is_empty());
+
+        rdt.enable_journal();
+        rdt.set_clos_mask(ClosId::new(2), WayMask::contiguous(0, 2).unwrap()).unwrap();
+        rdt.associate_core(1, ClosId::new(2)).unwrap();
+        rdt.set_ddio_mask(WayMask::contiguous(8, 3).unwrap()).unwrap();
+        let _ = rdt.set_ddio_mask(WayMask::EMPTY); // failed write: not journalled
+        let j = rdt.drain_journal();
+        assert_eq!(
+            j,
+            vec![
+                RegWrite { target: RegTarget::Clos, clos: 2, bits: 0b11 },
+                RegWrite { target: RegTarget::Assoc, clos: 2, bits: 1 },
+                RegWrite { target: RegTarget::Ddio, clos: 0, bits: 0b111 << 8 },
+            ]
+        );
+        // Drain empties the journal but keeps journalling on.
+        assert!(rdt.drain_journal().is_empty());
+        rdt.associate_core(0, ClosId::DEFAULT).unwrap();
+        assert_eq!(rdt.drain_journal().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! Typed telemetry events and their JSON/text renderings.
+
+use serde_json::{json, Value};
+use std::fmt;
+
+/// When an event happened: the daemon iteration that produced it and
+/// the simulated platform time.
+///
+/// Code outside the daemon loop (e.g. NIC-side sampling) uses the
+/// iteration of the *enclosing* interval; `iter` is 0 before the first
+/// daemon iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stamp {
+    /// Daemon iteration count at record time (1-based after the first
+    /// completed iteration).
+    pub iter: u64,
+    /// Simulated platform time, nanoseconds.
+    pub time_ns: u64,
+}
+
+impl fmt::Display for Stamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[iter {:>4} @ {:>9.3} ms]", self.iter, self.time_ns as f64 / 1e6)
+    }
+}
+
+/// One record in the telemetry stream.
+///
+/// Variants map one-to-one onto the observable actions of the IAT
+/// stack: counter polls, Fig. 6 FSM edges, LLC re-allocations, MSR
+/// writes, and NIC-side symptoms (ring occupancy, drops).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The monitor completed a poll of core + uncore counters.
+    PollSample {
+        stamp: Stamp,
+        /// Number of per-tenant samples in the poll.
+        tenant_count: u16,
+        /// Chip-wide LLC references since the last reset.
+        llc_refs: u64,
+        /// Chip-wide LLC misses since the last reset.
+        llc_misses: u64,
+        /// DDIO hits observed by the sampled CHA(s).
+        ddio_hits: u64,
+        /// DDIO misses observed by the sampled CHA(s).
+        ddio_misses: u64,
+        /// Modelled cost of the poll itself, nanoseconds.
+        cost_ns: u64,
+    },
+    /// The Fig. 6 state machine took an edge.
+    FsmTransition {
+        stamp: Stamp,
+        /// State name before the edge (Display form, e.g. "low-keep").
+        from: String,
+        /// State name after the edge.
+        to: String,
+        /// The miss-rate signal that drove classification.
+        miss_high: bool,
+        /// DDIO allocation already at its configured minimum.
+        at_min: bool,
+        /// DDIO allocation already at its configured maximum.
+        at_max: bool,
+    },
+    /// The DDIO (IIO LLC WAYS) allocation changed size.
+    DdioResize {
+        stamp: Stamp,
+        from_ways: u8,
+        to_ways: u8,
+    },
+    /// A tenant's CLOS allocation changed size.
+    TenantResize {
+        stamp: Stamp,
+        /// Agent id of the resized tenant.
+        agent: u16,
+        from_ways: u8,
+        to_ways: u8,
+    },
+    /// The layout was re-shuffled without resizing anyone.
+    Shuffle {
+        stamp: Stamp,
+        /// Why the shuffle fired (e.g. "overlap-degraded", "exclude-violation").
+        reason: String,
+    },
+    /// A simulated MSR write (CLOS mask, core association, or the IIO
+    /// LLC WAYS register).
+    MaskWrite {
+        stamp: Stamp,
+        /// "clos", "assoc", or "iio".
+        target: String,
+        /// CLOS index (the associated CLOS for "assoc" writes; 0 for "iio").
+        clos: u8,
+        /// Raw way-mask bits written (core id for "assoc" writes).
+        mask: u32,
+    },
+    /// A NIC virtual function dropped packets in the last interval.
+    NicDrop {
+        stamp: Stamp,
+        /// Virtual function index.
+        vf: u16,
+        /// Packets dropped since the previous record for this VF.
+        dropped: u64,
+    },
+    /// Rx ring occupancy high-water mark over the last interval.
+    RingOccupancy {
+        stamp: Stamp,
+        /// Virtual function index.
+        vf: u16,
+        /// High-water occupancy, in descriptors.
+        len: u32,
+        /// Ring capacity, in descriptors.
+        capacity: u32,
+    },
+    /// One daemon iteration's outcome: the per-iteration decision trace.
+    Decision {
+        stamp: Stamp,
+        /// FSM state after the iteration (Display form).
+        state: String,
+        /// Action taken (Debug form of `iat::Action`, e.g. "GrowDdio").
+        action: String,
+        /// Whether the iteration classified the system as stable.
+        stable: bool,
+        /// Cumulative MSR writes issued by this iteration.
+        msr_writes: u64,
+        /// Modelled daemon-iteration cost, nanoseconds.
+        cost_ns: u64,
+    },
+}
+
+impl Event {
+    /// Stable machine-readable tag for the variant (the JSON "type").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::PollSample { .. } => "poll_sample",
+            Event::FsmTransition { .. } => "fsm_transition",
+            Event::DdioResize { .. } => "ddio_resize",
+            Event::TenantResize { .. } => "tenant_resize",
+            Event::Shuffle { .. } => "shuffle",
+            Event::MaskWrite { .. } => "mask_write",
+            Event::NicDrop { .. } => "nic_drop",
+            Event::RingOccupancy { .. } => "ring_occupancy",
+            Event::Decision { .. } => "decision",
+        }
+    }
+
+    /// The event's stamp.
+    pub fn stamp(&self) -> Stamp {
+        match self {
+            Event::PollSample { stamp, .. }
+            | Event::FsmTransition { stamp, .. }
+            | Event::DdioResize { stamp, .. }
+            | Event::TenantResize { stamp, .. }
+            | Event::Shuffle { stamp, .. }
+            | Event::MaskWrite { stamp, .. }
+            | Event::NicDrop { stamp, .. }
+            | Event::RingOccupancy { stamp, .. }
+            | Event::Decision { stamp, .. } => *stamp,
+        }
+    }
+
+    /// Renders the event as a self-describing JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut v = match self {
+            Event::PollSample {
+                tenant_count, llc_refs, llc_misses, ddio_hits, ddio_misses, cost_ns, ..
+            } => json!({
+                "tenant_count": *tenant_count,
+                "llc_refs": *llc_refs,
+                "llc_misses": *llc_misses,
+                "ddio_hits": *ddio_hits,
+                "ddio_misses": *ddio_misses,
+                "cost_ns": *cost_ns,
+            }),
+            Event::FsmTransition { from, to, miss_high, at_min, at_max, .. } => json!({
+                "from": from.as_str(),
+                "to": to.as_str(),
+                "miss_high": *miss_high,
+                "at_min": *at_min,
+                "at_max": *at_max,
+            }),
+            Event::DdioResize { from_ways, to_ways, .. } => json!({
+                "from_ways": *from_ways,
+                "to_ways": *to_ways,
+            }),
+            Event::TenantResize { agent, from_ways, to_ways, .. } => json!({
+                "agent": *agent,
+                "from_ways": *from_ways,
+                "to_ways": *to_ways,
+            }),
+            Event::Shuffle { reason, .. } => json!({ "reason": reason.as_str() }),
+            Event::MaskWrite { target, clos, mask, .. } => json!({
+                "target": target.as_str(),
+                "clos": *clos,
+                "mask": *mask,
+            }),
+            Event::NicDrop { vf, dropped, .. } => json!({
+                "vf": *vf,
+                "dropped": *dropped,
+            }),
+            Event::RingOccupancy { vf, len, capacity, .. } => json!({
+                "vf": *vf,
+                "len": *len,
+                "capacity": *capacity,
+            }),
+            Event::Decision { state, action, stable, msr_writes, cost_ns, .. } => json!({
+                "state": state.as_str(),
+                "action": action.as_str(),
+                "stable": *stable,
+                "msr_writes": *msr_writes,
+                "cost_ns": *cost_ns,
+            }),
+        };
+        if let Value::Object(map) = &mut v {
+            let stamp = self.stamp();
+            map.insert("type".to_string(), Value::from(self.kind()));
+            map.insert("iter".to_string(), Value::from(stamp.iter));
+            map.insert("time_ns".to_string(), Value::from(stamp.time_ns));
+        }
+        v
+    }
+
+    /// Parses an event back from one line of [`crate::JsonlRecorder`]
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the parse failure or the first missing
+    /// field.
+    pub fn from_json_line(line: &str) -> Result<Event, String> {
+        let v = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        Event::from_json(&v)
+    }
+
+    /// Parses an event back from its [`Event::to_json`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &Value) -> Result<Event, String> {
+        fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+            v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing u64 field {key:?}"))
+        }
+        fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
+            v.get(key).and_then(Value::as_bool).ok_or_else(|| format!("missing bool field {key:?}"))
+        }
+        fn str_field(v: &Value, key: &str) -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        }
+
+        let stamp = Stamp { iter: u64_field(v, "iter")?, time_ns: u64_field(v, "time_ns")? };
+        let kind = str_field(v, "type")?;
+        match kind.as_str() {
+            "poll_sample" => Ok(Event::PollSample {
+                stamp,
+                tenant_count: u64_field(v, "tenant_count")? as u16,
+                llc_refs: u64_field(v, "llc_refs")?,
+                llc_misses: u64_field(v, "llc_misses")?,
+                ddio_hits: u64_field(v, "ddio_hits")?,
+                ddio_misses: u64_field(v, "ddio_misses")?,
+                cost_ns: u64_field(v, "cost_ns")?,
+            }),
+            "fsm_transition" => Ok(Event::FsmTransition {
+                stamp,
+                from: str_field(v, "from")?,
+                to: str_field(v, "to")?,
+                miss_high: bool_field(v, "miss_high")?,
+                at_min: bool_field(v, "at_min")?,
+                at_max: bool_field(v, "at_max")?,
+            }),
+            "ddio_resize" => Ok(Event::DdioResize {
+                stamp,
+                from_ways: u64_field(v, "from_ways")? as u8,
+                to_ways: u64_field(v, "to_ways")? as u8,
+            }),
+            "tenant_resize" => Ok(Event::TenantResize {
+                stamp,
+                agent: u64_field(v, "agent")? as u16,
+                from_ways: u64_field(v, "from_ways")? as u8,
+                to_ways: u64_field(v, "to_ways")? as u8,
+            }),
+            "shuffle" => Ok(Event::Shuffle { stamp, reason: str_field(v, "reason")? }),
+            "mask_write" => Ok(Event::MaskWrite {
+                stamp,
+                target: str_field(v, "target")?,
+                clos: u64_field(v, "clos")? as u8,
+                mask: u64_field(v, "mask")? as u32,
+            }),
+            "nic_drop" => Ok(Event::NicDrop {
+                stamp,
+                vf: u64_field(v, "vf")? as u16,
+                dropped: u64_field(v, "dropped")?,
+            }),
+            "ring_occupancy" => Ok(Event::RingOccupancy {
+                stamp,
+                vf: u64_field(v, "vf")? as u16,
+                len: u64_field(v, "len")? as u32,
+                capacity: u64_field(v, "capacity")? as u32,
+            }),
+            "decision" => Ok(Event::Decision {
+                stamp,
+                state: str_field(v, "state")?,
+                action: str_field(v, "action")?,
+                stable: bool_field(v, "stable")?,
+                msr_writes: u64_field(v, "msr_writes")?,
+                cost_ns: u64_field(v, "cost_ns")?,
+            }),
+            other => Err(format!("unknown event type {other:?}")),
+        }
+    }
+}
+
+impl serde::Serialize for Event {
+    fn to_json_value(&self) -> Value {
+        self.to_json()
+    }
+}
+
+impl fmt::Display for Event {
+    /// One human-readable timeline line per event.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.stamp())?;
+        match self {
+            Event::PollSample { llc_refs, llc_misses, ddio_hits, ddio_misses, .. } => {
+                let miss_pct = if *llc_refs > 0 {
+                    *llc_misses as f64 / *llc_refs as f64 * 100.0
+                } else {
+                    0.0
+                };
+                write!(
+                    f,
+                    "poll      refs={llc_refs} misses={llc_misses} ({miss_pct:.1}%) \
+                     ddio {ddio_hits}H/{ddio_misses}M"
+                )
+            }
+            Event::FsmTransition { from, to, miss_high, at_min, at_max, .. } => {
+                write!(f, "fsm       {from} -> {to}  (miss_high={miss_high}")?;
+                if *at_min {
+                    write!(f, ", at_min")?;
+                }
+                if *at_max {
+                    write!(f, ", at_max")?;
+                }
+                write!(f, ")")
+            }
+            Event::DdioResize { from_ways, to_ways, .. } => {
+                let dir = if to_ways > from_ways { "grow" } else { "shrink" };
+                write!(f, "ddio      {dir} {from_ways} -> {to_ways} ways")
+            }
+            Event::TenantResize { agent, from_ways, to_ways, .. } => {
+                let dir = if to_ways > from_ways { "grow" } else { "shrink" };
+                write!(f, "tenant    agent {agent} {dir} {from_ways} -> {to_ways} ways")
+            }
+            Event::Shuffle { reason, .. } => write!(f, "shuffle   reason={reason}"),
+            Event::MaskWrite { target, clos, mask, .. } => {
+                write!(f, "msr       {target} clos={clos} mask={mask:#x}")
+            }
+            Event::NicDrop { vf, dropped, .. } => {
+                write!(f, "nic       vf {vf} dropped {dropped} pkts")
+            }
+            Event::RingOccupancy { vf, len, capacity, .. } => {
+                write!(f, "ring      vf {vf} high-water {len}/{capacity}")
+            }
+            Event::Decision { state, action, stable, msr_writes, .. } => {
+                write!(
+                    f,
+                    "decision  state={state} action={action} stable={stable} \
+                     msr_writes={msr_writes}"
+                )
+            }
+        }
+    }
+}
+
+/// Renders events as a newline-joined human-readable timeline.
+pub fn render_timeline(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        let stamp = Stamp { iter: 7, time_ns: 7_000_000 };
+        vec![
+            Event::PollSample {
+                stamp,
+                tenant_count: 4,
+                llc_refs: 1000,
+                llc_misses: 250,
+                ddio_hits: 90,
+                ddio_misses: 10,
+                cost_ns: 52_000,
+            },
+            Event::FsmTransition {
+                stamp,
+                from: "low-keep".into(),
+                to: "io-demand".into(),
+                miss_high: true,
+                at_min: false,
+                at_max: false,
+            },
+            Event::DdioResize { stamp, from_ways: 2, to_ways: 4 },
+            Event::TenantResize { stamp, agent: 3, from_ways: 4, to_ways: 2 },
+            Event::Shuffle { stamp, reason: "overlap-degraded".into() },
+            Event::MaskWrite { stamp, target: "iio".into(), clos: 0, mask: 0x600 },
+            Event::NicDrop { stamp, vf: 1, dropped: 42 },
+            Event::RingOccupancy { stamp, vf: 1, len: 900, capacity: 1024 },
+            Event::Decision {
+                stamp,
+                state: "io-demand".into(),
+                action: "GrowDdio".into(),
+                stable: false,
+                msr_writes: 3,
+                cost_ns: 180_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trip_every_variant() {
+        for e in sample_events() {
+            let v = e.to_json();
+            assert_eq!(v["type"], e.kind());
+            assert_eq!(v["iter"], 7u64);
+            let back = Event::from_json(&v).expect("round trip");
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Event::from_json(&serde_json::json!({"type": "nope", "iter": 0, "time_ns": 0}))
+            .is_err());
+        assert!(Event::from_json(&serde_json::json!({"iter": 0, "time_ns": 0})).is_err());
+        assert!(Event::from_json(&serde_json::json!({
+            "type": "ddio_resize", "iter": 0, "time_ns": 0, "from_ways": 2
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn timeline_is_one_line_per_event() {
+        let events = sample_events();
+        let text = render_timeline(&events);
+        assert_eq!(text.lines().count(), events.len());
+        assert!(text.contains("low-keep -> io-demand"));
+        assert!(text.contains("grow 2 -> 4 ways"));
+    }
+}

@@ -1,0 +1,46 @@
+//! iat-telemetry: flight recorder, metrics registry, and structured
+//! decision traces for the IAT stack.
+//!
+//! Three pieces, usable separately:
+//!
+//! * [`Event`] — a typed record of something the stack did or observed
+//!   (an FSM edge, a DDIO resize, a poll sample, a CLOS mask write, a
+//!   NIC drop), stamped with the daemon iteration and simulated time.
+//! * [`Recorder`] — where events go. [`NullRecorder`] drops everything
+//!   (the zero-cost default), [`RingRecorder`] keeps the last N events
+//!   as a flight recorder, and [`JsonlRecorder`] streams JSON lines to
+//!   any `io::Write` for offline analysis.
+//! * [`Metrics`] — a registry of named counters, gauges, and
+//!   fixed-bucket histograms that can be snapshotted, merged across
+//!   runs, and rendered to JSON.
+//!
+//! Instrumented code takes `&mut dyn Recorder` and guards event
+//! construction behind [`Recorder::enabled`], so the uninstrumented
+//! fast path costs one virtual call per site.
+//!
+//! ```
+//! use iat_telemetry::{Event, Recorder, RingRecorder, Stamp};
+//!
+//! let mut rec = RingRecorder::new(128);
+//! rec.record(Event::FsmTransition {
+//!     stamp: Stamp { iter: 3, time_ns: 3_000_000 },
+//!     from: "low-keep".into(),
+//!     to: "io-demand".into(),
+//!     miss_high: true,
+//!     at_min: false,
+//!     at_max: false,
+//! });
+//! assert_eq!(rec.snapshot().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod event;
+mod metrics;
+mod recorder;
+
+pub use event::{render_timeline, Event, Stamp};
+pub use metrics::{
+    summarize, Histogram, Metrics, MetricsSnapshot, COST_NS_BOUNDS, OCCUPANCY_BOUNDS,
+};
+pub use recorder::{JsonlRecorder, NullRecorder, Recorder, RingRecorder};

@@ -13,7 +13,9 @@
 //! * [`netsim`] — NICs, rings, DMA-over-DDIO, traffic generation, RFC 2544;
 //! * [`workloads`] — X-Mem, DPDK apps, OVS, NF chains, KVS/YCSB, RocksDB-
 //!   like and SPEC-profile workload models;
-//! * [`platform`] — the epoch-driven simulated server tying it together.
+//! * [`platform`] — the epoch-driven simulated server tying it together;
+//! * [`telemetry`] — flight recorder, metrics registry, and the structured
+//!   decision traces every layer above can emit.
 //!
 //! See `examples/quickstart.rs` for the 60-second tour, and the `iat-bench`
 //! crate for the binaries that regenerate every table and figure of the
@@ -28,4 +30,5 @@ pub use iat_netsim as netsim;
 pub use iat_perf as perf;
 pub use iat_platform as platform;
 pub use iat_rdt as rdt;
+pub use iat_telemetry as telemetry;
 pub use iat_workloads as workloads;

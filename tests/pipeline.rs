@@ -3,7 +3,7 @@
 //! accounting consistent with every other's.
 
 use iat_repro::cachesim::AgentId;
-use iat_repro::netsim::{FlowDist, FlowId, Nic, TrafficGen, TrafficPattern, VfId};
+use iat_repro::netsim::{FlowDist, Nic, TrafficGen, TrafficPattern, VfId};
 use iat_repro::perf::{DdioSampleMode, Monitor};
 use iat_repro::platform::{Platform, PlatformConfig, Tenant, TenantId, TrafficBinding};
 use iat_repro::rdt::ClosId;

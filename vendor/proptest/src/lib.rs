@@ -1,0 +1,195 @@
+//! Offline stand-in for `proptest`, scoped to what this workspace uses.
+//!
+//! Implements the strategy combinators and macros the repo's property
+//! tests need — range/tuple strategies, `prop_map`/`prop_filter_map`,
+//! `prop_oneof!`, `collection::vec`, `any::<bool>()`, and the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros — on top of a
+//! deterministic fixed-seed RNG. There is NO shrinking: a failing case
+//! is reported with its full `Debug` value instead of a minimized one.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The usual glob-import surface (`proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies of a common value type.
+///
+/// All arms are boxed; weights are not supported (the workspace never
+/// uses weighted arms).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    }};
+}
+
+/// Defines property tests, like `proptest! { ... }`.
+///
+/// Supports an optional leading `#![proptest_config(...)]`, any number
+/// of `#[test]` functions with `pattern in strategy` arguments, and
+/// doc comments / attributes on each function.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(
+                $config,
+                stringify!($name),
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::gen(&($strat), __rng);)+
+                    let __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    __case()
+                },
+            );
+        }
+        $crate::__proptest_each! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts inside a property test, failing the case (not panicking
+/// directly) like `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a
+/// failure), like `proptest::prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(stringify!($cond).to_string()),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u16..4, b in 1u8..=4, c in 0u64..1 << 20) {
+            prop_assert!(a < 4);
+            prop_assert!((1..=4).contains(&b));
+            prop_assert!(c < 1 << 20);
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0u8..10, 0u8..10).prop_map(|(x, y)| (x, y, x as u16 + y as u16))) {
+            let (x, y, s) = pair;
+            prop_assert_eq!(s, x as u16 + y as u16);
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u32..100, 3..=7)) {
+            prop_assert!((3..=7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u8..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_filter_map(
+            v in prop_oneof![
+                (0u8..4).prop_map(|x| x as u32),
+                (100u32..200).prop_filter_map("keep evens", |x| (x % 2 == 0).then_some(x)),
+            ],
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(v < 4 || (100..200).contains(&v) && v % 2 == 0);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        proptest! {
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,231 @@
+//! Strategy trait and combinators (`proptest::strategy` subset).
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// How many times rejection-based combinators retry before giving up.
+const MAX_REJECTS: u32 = 10_000;
+
+/// A generator of test values — the shim analogue of
+/// `proptest::strategy::Strategy`. No shrinking: `gen` draws one value.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn gen(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps values through `f`, rejecting (regenerating) on `None`.
+    ///
+    /// `whence` labels the filter in the panic message if the rejection
+    /// rate is pathological.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, whence, f }
+    }
+
+    /// Filters values, rejecting those for which `f` is false.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe core used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_gen(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_gen(&self, rng: &mut StdRng) -> S::Value {
+        self.gen(rng)
+    }
+}
+
+/// A type-erased strategy (`proptest::strategy::BoxedStrategy`).
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut StdRng) -> T {
+        self.0.dyn_gen(rng)
+    }
+}
+
+/// Always produces a clone of one value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn gen(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.gen(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn gen(&self, rng: &mut StdRng) -> O {
+        for _ in 0..MAX_REJECTS {
+            if let Some(v) = (self.f)(self.inner.gen(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map({:?}) rejected {MAX_REJECTS} candidates", self.whence);
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn gen(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..MAX_REJECTS {
+            let v = self.inner.gen(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({:?}) rejected {MAX_REJECTS} candidates", self.whence);
+    }
+}
+
+/// Uniform choice among boxed strategies — what `prop_oneof!` builds.
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T: Debug> Union<T> {
+    /// Builds a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].gen(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                Uniform::new(self.start, self.end).sample(rng)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                if hi < <$t>::MAX {
+                    Uniform::new(lo, hi + 1).sample(rng)
+                } else if lo > <$t>::MIN {
+                    // Avoid span overflow: sample [lo-1, hi) and shift.
+                    Uniform::new(lo - 1, hi).sample(rng) + 1
+                } else {
+                    // Full domain.
+                    rng.gen::<u64>() as $t
+                }
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.gen(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);

@@ -1,0 +1,69 @@
+//! Case execution (`proptest::test_runner` subset).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated — fails the test.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — the case is regenerated.
+    Reject(String),
+}
+
+/// Drives one property: draws inputs and runs `case` until
+/// `config.cases` accepted cases pass, panicking on the first failure.
+///
+/// Inputs are drawn from a deterministic RNG seeded from the property
+/// name, so failures reproduce exactly on re-run (there is no
+/// shrinking or persistence).
+pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let seed = name.bytes().fold(0xd6e8_feb8_6659_fd93u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(100).max(10_000);
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "property {name}: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property failed: {name} (after {passed} passing cases): {msg}");
+            }
+        }
+    }
+}

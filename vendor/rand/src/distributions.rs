@@ -1,0 +1,60 @@
+//! Sampling distributions (`rand::distributions` subset).
+
+use crate::RngCore;
+
+/// A distribution over `T` (`rand::distributions::Distribution`).
+pub trait Distribution<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over a half-open integer range `[low, high)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    span: u64,
+}
+
+/// Integer types [`Uniform`] (and `gen_range`) can sample.
+pub trait UniformInt: Copy {
+    #[doc(hidden)]
+    fn to_u64(self) -> u64;
+    #[doc(hidden)]
+    fn add_offset(self, offset: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn add_offset(self, offset: u64) -> Self {
+                self.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> Uniform<T> {
+    /// Builds a uniform distribution over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty, matching the real crate.
+    pub fn new(low: T, high: T) -> Uniform<T> {
+        let span = high.to_u64().wrapping_sub(low.to_u64());
+        assert!(span > 0, "Uniform::new called with low >= high");
+        Uniform { low, span }
+    }
+}
+
+impl<T: UniformInt> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        // 128-bit multiply-shift maps 64 random bits onto [0, span)
+        // nearly without modulo bias (exact enough for simulation use).
+        let hi = ((rng.next_u64() as u128 * self.span as u128) >> 64) as u64;
+        self.low.add_offset(hi)
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for `rand`, scoped to what this workspace uses:
+//! `rngs::StdRng`, [`SeedableRng::seed_from_u64`], [`Rng::gen`] for
+//! integer/float types, and `distributions::Uniform` over integers.
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — deterministic,
+//! fast, and statistically solid for the traffic/workload simulations
+//! here. It is NOT the same stream as the real `rand::rngs::StdRng`
+//! (ChaCha12), so exact per-seed sequences differ; the workspace only
+//! relies on determinism per seed, not on specific values.
+
+#![forbid(unsafe_code)]
+
+pub mod distributions;
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// Seeding interface: the subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a deterministic generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible directly from an RNG via [`Rng::gen`].
+pub trait FromRng {
+    /// Draws one value from `rng`.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// The raw entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing randomness interface (`rand::Rng` subset).
+pub trait Rng: RngCore {
+    /// Draws a value of any [`FromRng`] type, like `rand::Rng::gen`.
+    fn gen<T: FromRng>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// Draws a value uniformly from `[low, high)`.
+    fn gen_range<T: distributions::UniformInt>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Uniform::new(range.start, range.end).sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+impl FromRng for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRng for usize {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distributions::{Distribution, Uniform};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = Uniform::new(0u32, 10);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit in 1000 draws");
+    }
+
+    #[test]
+    fn gen_range_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = rng.gen_range(5u64..15);
+            assert!((5..15).contains(&v));
+        }
+    }
+}

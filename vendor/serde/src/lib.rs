@@ -1,0 +1,186 @@
+//! Offline stand-in for `serde`, scoped to what this workspace uses.
+//!
+//! The real serde is a serialization *framework*; this shim is a JSON value
+//! model plus a [`Serialize`] trait that converts Rust values into that
+//! model. `serde_json` (the sibling shim) re-exports [`Value`] and layers
+//! parsing/printing and the `json!` macro on top.
+//!
+//! The build environment is offline (no crates.io registry), so everything
+//! external the workspace needs is vendored as a path dependency.
+
+#![forbid(unsafe_code)]
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Conversion into the JSON value model — the shim's analogue of
+/// `serde::Serialize`.
+///
+/// Implementations exist for primitives, strings, references, options,
+/// sequences, small tuples and string-keyed maps: the shapes this
+/// workspace serializes.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_json_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_i128(*self as i128))
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+        ])
+    }
+}
+
+/// Turns a serialized key into a JSON object key, the way serde_json does:
+/// strings pass through, numbers are stringified.
+fn object_key(v: Value) -> String {
+    match v {
+        Value::String(s) => s,
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported JSON object key: {other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (object_key(k.to_json_value()), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (object_key(k.to_json_value()), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(42u32.to_json_value().to_string(), "42");
+        assert_eq!((-7i64).to_json_value().to_string(), "-7");
+        assert_eq!(2.5f64.to_json_value().to_string(), "2.5");
+        assert_eq!(true.to_json_value().to_string(), "true");
+        assert_eq!("hi".to_json_value().to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn containers() {
+        let v = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        assert_eq!(v.to_json_value().to_string(), "[[1.0,2.0],[3.0,4.0]]");
+        let mut m = BTreeMap::new();
+        m.insert("a", vec![1u8, 2]);
+        assert_eq!(m.to_json_value().to_string(), "{\"a\":[1,2]}");
+        let none: Option<f64> = None;
+        assert_eq!(none.to_json_value(), Value::Null);
+    }
+}

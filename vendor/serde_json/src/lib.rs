@@ -1,0 +1,157 @@
+//! Offline stand-in for `serde_json`, scoped to what this workspace uses:
+//! [`Value`], [`json!`], [`to_string`], [`to_string_pretty`] and
+//! [`from_str`].
+//!
+//! The build environment is offline (no crates.io registry), so the
+//! workspace vendors this minimal, API-compatible subset as a path
+//! dependency. The value model itself lives in the `serde` shim and is
+//! re-exported here under the familiar `serde_json::Value` path.
+
+#![forbid(unsafe_code)]
+// The `json!` macro expands to a fresh Vec plus pushes, like upstream's.
+#![allow(clippy::vec_init_then_push)]
+
+mod parse;
+
+pub use parse::{from_str, Error};
+pub use serde::value::{Number, Value};
+
+/// Object map type used by [`Value::Object`] (`serde_json::Map`).
+pub type Map<K, V> = std::collections::BTreeMap<K, V>;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Serializes `value` to a pretty JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().pretty())
+}
+
+/// Builds a [`Value`] from JSON-ish syntax, like `serde_json::json!`.
+///
+/// Supports `null` / `true` / `false`, object and array literals (nested),
+/// and arbitrary Rust expressions as values (converted via the shim's
+/// `serde::Serialize`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut array: Vec<$crate::Value> = Vec::new();
+        $crate::json_internal!(@array array () $($tt)+ ,);
+        $crate::Value::Array(array)
+    }};
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object: $crate::Map<String, $crate::Value> = $crate::Map::new();
+        $crate::json_internal!(@object object () $($tt)+ ,);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal muncher for [`json!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- arrays: accumulate element token-trees until a top-level comma.
+    (@array $array:ident ()) => {};
+    (@array $array:ident () ,) => {};
+    (@array $array:ident ($($elem:tt)+) , $($rest:tt)*) => {
+        $array.push($crate::json!($($elem)+));
+        $crate::json_internal!(@array $array () $($rest)*);
+    };
+    (@array $array:ident ($($elem:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@array $array ($($elem)* $next) $($rest)*);
+    };
+
+    // ---- objects: munch "key" : <value tts> , entries.
+    (@object $object:ident ()) => {};
+    (@object $object:ident () ,) => {};
+    // Entry complete (value tokens accumulated, comma reached).
+    (@object $object:ident ($key:tt : $($value:tt)+) , $($rest:tt)*) => {
+        $object.insert(($key).to_string(), $crate::json!($($value)+));
+        $crate::json_internal!(@object $object () $($rest)*);
+    };
+    // Keep accumulating the current entry.
+    (@object $object:ident ($($entry:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@object $object ($($entry)* $next) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(3.5), Value::Number(Number::Float(3.5)));
+        assert_eq!(json!("s"), Value::String("s".into()));
+    }
+
+    #[test]
+    fn flat_object_with_expressions() {
+        let gbps = 12.5f64;
+        let base = 25.0f64;
+        let v = json!({
+            "ring": 1024,
+            "zero_loss_gbps": gbps,
+            "relative": gbps / base,
+        });
+        assert_eq!(v["ring"], 1024);
+        assert_eq!(v["relative"], 0.5);
+    }
+
+    #[test]
+    fn nested_object_and_array() {
+        let ded = (3.0f64, 150.0f64);
+        let v = json!({
+            "working_set_mb": 8u64,
+            "dedicated": { "mops": ded.0, "avg_lat_ns": ded.1 },
+            "list": [1, 2, ded.0],
+        });
+        assert_eq!(v["dedicated"]["mops"], 3.0);
+        assert_eq!(v["list"][2], 3.0);
+        assert_eq!(v["list"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn option_values() {
+        let some: Option<&f64> = Some(&1.5);
+        let none: Option<&f64> = None;
+        let v = json!({ "a": some, "b": none });
+        assert_eq!(v["a"], 1.5);
+        assert!(v["b"].is_null());
+    }
+
+    #[test]
+    fn value_array_roundtrip() {
+        let items = vec![json!({"k": 1}), json!({"k": 2})];
+        let arr = Value::Array(items);
+        let s = to_string(&arr).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, arr);
+        assert_eq!(back[1]["k"], 2);
+    }
+
+    #[test]
+    fn pretty_matches_compact_semantics() {
+        let v = json!({"a": [1, 2], "b": {"c": true}});
+        let back: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+}
