@@ -20,12 +20,16 @@ fn bench_sampling(c: &mut Criterion) {
     let bank = CounterBank::new(8);
     let spec = MonitorSpec {
         tenants: (0..4u16)
-            .map(|i| TenantSpec { agent: AgentId::new(i), cores: vec![i as usize] })
+            .map(|i| TenantSpec {
+                agent: AgentId::new(i),
+                cores: vec![i as usize],
+            })
             .collect(),
     };
-    for (name, mode) in
-        [("one_slice", DdioSampleMode::OneSlice(0)), ("all_slices", DdioSampleMode::AllSlices)]
-    {
+    for (name, mode) in [
+        ("one_slice", DdioSampleMode::OneSlice(0)),
+        ("all_slices", DdioSampleMode::AllSlices),
+    ] {
         let monitor = Monitor::new(spec.clone(), mode);
         group.bench_function(name, |b| b.iter(|| black_box(monitor.poll(&llc, &bank))));
     }
@@ -41,7 +45,11 @@ fn bench_layout_planning(c: &mut Criterion) {
                 .map(|i| iat::layout::PlanInput {
                     agent: AgentId::new(i as u16),
                     clos: ClosId::new((i + 1) as u8),
-                    priority: if i % 2 == 0 { Priority::Pc } else { Priority::Be },
+                    priority: if i % 2 == 0 {
+                        Priority::Pc
+                    } else {
+                        Priority::Be
+                    },
                     ways: 1,
                     llc_refs: (i * 1000) as u64,
                 })

@@ -17,7 +17,11 @@ fn tenants(count: usize) -> Vec<TenantInfo> {
             agent: AgentId::new(i as u16),
             clos: ClosId::new((i % 15 + 1) as u8),
             cores: vec![i],
-            priority: if i % 2 == 0 { Priority::Pc } else { Priority::Be },
+            priority: if i % 2 == 0 {
+                Priority::Pc
+            } else {
+                Priority::Be
+            },
             is_io: i == 0,
             initial_ways: 1,
         })
@@ -29,7 +33,10 @@ fn poll(count: usize, base: u64, jitter: f64) -> Poll {
         tenants: (0..count)
             .map(|i| TenantSample {
                 agent: AgentId::new(i as u16),
-                core: CoreCounters { instructions: (base as f64 * jitter) as u64, cycles: base },
+                core: CoreCounters {
+                    instructions: (base as f64 * jitter) as u64,
+                    cycles: base,
+                },
                 llc_references: (base as f64 / 10.0 * jitter) as u64,
                 llc_misses: (base as f64 / 100.0 * jitter) as u64,
             })

@@ -1,127 +1,7 @@
-//! Quality-shaped ablations of IAT's design choices (DESIGN.md §4):
-//!
-//! * shuffle policy: BE-sorted (paper) vs DDIO-unaware layout;
-//! * one-way-per-iteration DDIO growth vs the step response it produces;
-//! * `THRESHOLD_STABLE` sensitivity;
-//! * sleep-interval sensitivity (reaction time in intervals).
-
-use iat_bench::report::{f, FigureReport};
-use iat_bench::scenarios::{self, PolicyKind};
-use iat::{IatConfig, IatDaemon, IatFlags};
-use iat_workloads::XMem;
-
-/// Reaction probe: the Fig. 10 phase change under a given daemon
-/// configuration; returns (intervals until container 4 reaches 4 ways,
-/// final pc4 throughput in Mops/s).
-fn reaction(flags: IatFlags, threshold_stable: f64) -> (usize, f64) {
-    let (mut m, ids) = scenarios::slicing_pmd_xmem(1500, PolicyKind::IatNoDdioResize, 99);
-    // Swap the policy for the ablated configuration.
-    let config = *m.platform.config();
-    let iat_config = IatConfig {
-        threshold_miss_low_per_s: config.scale_rate(1e6),
-        threshold_stable,
-        ..IatConfig::paper()
-    };
-    let mut daemon = IatDaemon::new(iat_config, flags, config.llc.ways());
-    // Re-register tenants with the new daemon.
-    let infos: Vec<iat::TenantInfo> = vec![
-        iat::TenantInfo {
-            agent: iat_cachesim::AgentId::new(0),
-            clos: iat_rdt::ClosId::new(1),
-            cores: vec![0, 1],
-            priority: iat::Priority::Pc,
-            is_io: true,
-            initial_ways: 3,
-        },
-        iat::TenantInfo {
-            agent: iat_cachesim::AgentId::new(1),
-            clos: iat_rdt::ClosId::new(2),
-            cores: vec![2],
-            priority: iat::Priority::Be,
-            is_io: false,
-            initial_ways: 2,
-        },
-        iat::TenantInfo {
-            agent: iat_cachesim::AgentId::new(2),
-            clos: iat_rdt::ClosId::new(3),
-            cores: vec![3],
-            priority: iat::Priority::Be,
-            is_io: false,
-            initial_ways: 2,
-        },
-        iat::TenantInfo {
-            agent: iat_cachesim::AgentId::new(3),
-            clos: iat_rdt::ClosId::new(4),
-            cores: vec![4],
-            priority: iat::Priority::Pc,
-            is_io: false,
-            initial_ways: 2,
-        },
-    ];
-    iat::LlcPolicy::set_tenants(&mut daemon, infos, m.platform.rdt_mut());
-    m.policy = Box::new(daemon);
-
-    m.run_intervals(3);
-    m.platform
-        .tenant_mut(ids.pc)
-        .workload
-        .as_any_mut()
-        .downcast_mut::<XMem>()
-        .expect("x-mem")
-        .set_working_set(10 << 20);
-    // Count intervals until pc4 holds 4 ways (or give up at 10).
-    let pc_clos = m.platform.tenant(ids.pc).clos;
-    let mut reached = 10usize;
-    for i in 0..10 {
-        m.step_interval();
-        if m.platform.rdt().clos_mask(pc_clos).count() >= 4 {
-            reached = i + 1;
-            break;
-        }
-    }
-    let w = scenarios::measure(&mut m, 1, 3);
-    let scale = m.platform.config().time_scale as f64;
-    let mops = w.tenant(ids.pc.0 as usize).ops as f64 / w.seconds * scale / 1e6;
-    (reached, mops)
-}
+//! Thin alias: runs the `ablation` job group through the sweep engine
+//! (single-threaded) and refreshes its slice of `results/`.
+//! `repro` regenerates every figure at once.
 
 fn main() {
-    let mut fig = FigureReport::new(
-        "ablation",
-        "Ablation — shuffle policy, stability threshold (Fig. 10 phase-change probe)",
-        &["variant", "intervals to 4 ways", "pc4 Mops/s"],
-    );
-
-    let cases: Vec<(&str, IatFlags, f64)> = vec![
-        ("paper (BE-sorted shuffle, 3%)", IatFlags { io_demand: false, ..IatFlags::full() }, 0.03),
-        (
-            "no ddio-aware layout",
-            IatFlags {
-                io_demand: false,
-                ddio_aware_layout: false,
-                shuffle: false,
-                ..IatFlags::full()
-            },
-            0.03,
-        ),
-        ("threshold 1%", IatFlags { io_demand: false, ..IatFlags::full() }, 0.01),
-        ("threshold 10%", IatFlags { io_demand: false, ..IatFlags::full() }, 0.10),
-        ("threshold 30%", IatFlags { io_demand: false, ..IatFlags::full() }, 0.30),
-    ];
-    for (name, flags, th) in cases {
-        let (intervals, mops) = reaction(flags, th);
-        fig.row(
-            &[name.into(), intervals.to_string(), f(mops, 1)],
-            serde_json::json!({
-                "variant": name, "intervals_to_4_ways": intervals, "pc4_mops": mops,
-            }),
-        );
-    }
-    fig.note(
-        "Reading: the BE-sorted shuffle protects container 4's throughput; an\n\
-         insensitive threshold (30%) fails to detect the phase change at all, while\n\
-         1–10% react within a couple of intervals — the paper's dCAT-like\n\
-         insensitivity in the useful range.",
-    );
-    fig.finish();
+    iat_bench::jobs::alias("ablation");
 }

@@ -1,73 +1,7 @@
-//! Fig. 8: solving the Leaky DMA problem.
-//!
-//! Aggregation model, two testpmd tenants behind OVS, single-flow
-//! line-rate traffic, packet size swept 64 B → 1.5 KB. For baseline
-//! (static CAT, default 2-way DDIO) and IAT, reports per packet size:
-//! DDIO hit count, DDIO miss count, memory bandwidth consumption, and
-//! OVS IPC / cycles-per-packet — the paper's Fig. 8a–d.
-
-use iat_bench::report::{f, FigureReport};
-use iat_bench::scenarios::{self, PolicyKind};
+//! Thin alias: runs the `fig08` job group through the sweep engine
+//! (single-threaded) and refreshes its slice of `results/`.
+//! `repro` regenerates every figure at once.
 
 fn main() {
-    let sizes: [u32; 6] = [64, 128, 256, 512, 1024, 1500];
-    let policies = [PolicyKind::Baseline(0), PolicyKind::Iat];
-    let (warm, meas) = (6, 6);
-
-    let mut fig = FigureReport::new(
-        "fig08",
-        "Fig. 8 — DDIO behaviour and OVS performance vs packet size (aggregation, line rate)",
-        &[
-            "pkt", "policy", "ddio_hit/s", "ddio_miss/s", "mem GB/s", "ovs IPC", "ovs CPP",
-            "fwd pkt/s", "ddio_ways",
-        ],
-    );
-
-    for &size in &sizes {
-        for &policy in &policies {
-            let (mut m, ids) = scenarios::fwd_aggregation(size, 1, policy, 42);
-            let win = scenarios::measure(&mut m, warm, meas);
-            let scale = m.platform.config().time_scale as f64;
-
-            let d = &win.deltas;
-            let hits = d.system.ddio_hits as f64 / win.seconds * scale;
-            let misses = d.system.ddio_misses as f64 / win.seconds * scale;
-            let mem_gbs = (d.system.mem_read_bytes + d.system.mem_write_bytes) as f64
-                / win.seconds
-                * scale
-                / 1e9;
-            let ovs_idx = ids.ovs.0 as usize;
-            let ipc = d.tenants[ovs_idx].ipc;
-            let ovs_metrics = win.tenant(ovs_idx);
-            let fwd = ovs_metrics.ops as f64 / win.seconds * scale;
-            let cpp = if ovs_metrics.ops == 0 { 0.0 } else { ovs_metrics.avg_op_cycles };
-            let ddio_ways = m.platform.rdt().ddio_ways();
-
-            fig.row(
-                &[
-                    size.to_string(),
-                    policy.label().into(),
-                    format!("{:.3e}", hits),
-                    format!("{:.3e}", misses),
-                    f(mem_gbs, 2),
-                    f(ipc, 3),
-                    f(cpp, 0),
-                    format!("{:.3e}", fwd),
-                    ddio_ways.to_string(),
-                ],
-                serde_json::json!({
-                    "packet_bytes": size,
-                    "policy": policy.label(),
-                    "ddio_hits_per_s": hits,
-                    "ddio_misses_per_s": misses,
-                    "mem_gbps": mem_gbs,
-                    "ovs_ipc": ipc,
-                    "ovs_cpp": cpp,
-                    "forwarded_pps": fwd,
-                    "ddio_ways": ddio_ways,
-                }),
-            );
-        }
-    }
-    fig.finish();
+    iat_bench::jobs::alias("fig08");
 }

@@ -1,104 +1,7 @@
-//! Fig. 10: solving the Latent Contender problem (slicing model).
-//!
-//! Two PC testpmd containers on VFs (3 shared ways), three X-Mem
-//! containers (2 ways each; containers 2/3 BE, container 4 PC). At t=5 s
-//! container 4's working set grows 2 MB → 10 MB; at t=15 s DDIO's ways are
-//! *manually* widened from 2 to 4 (IAT's own DDIO resizing is disabled,
-//! paper footnote 3). Reports container 4's stable throughput and average
-//! latency in the 5–15 s and 15–25 s phases for baseline, Core-only,
-//! I/O-iso and IAT, across packet sizes.
-
-use iat_bench::report::{f, save_json, Table};
-use iat_bench::scenarios::{self, PolicyKind};
-use iat_cachesim::WayMask;
-use iat_workloads::XMem;
-
-struct PhaseResult {
-    mops: f64,
-    lat_ns: f64,
-}
-
-fn run_case(pkt: u32, policy: PolicyKind) -> (PhaseResult, PhaseResult) {
-    let (mut m, ids) = scenarios::slicing_pmd_xmem(pkt, policy, 99);
-    let pc = ids.pc;
-    let scale = m.platform.config().time_scale as f64;
-    let freq = m.platform.config().freq_ghz;
-
-    // Phase 0: all X-Mem at 2 MB.
-    m.run_intervals(3);
-
-    // t=5 s: container 4's working set grows to 10 MB (L2 + 4 ways).
-    m.platform
-        .tenant_mut(pc)
-        .workload
-        .as_any_mut()
-        .downcast_mut::<XMem>()
-        .expect("container 4 is X-Mem")
-        .set_working_set(10 << 20);
-
-    // Let the policy react, then measure the stable window (paper reports
-    // performance "after 5s" once stabilized).
-    m.run_intervals(4);
-    let w1 = scenarios::measure(&mut m, 0, 4);
-    let p1 = PhaseResult {
-        mops: w1.tenant(pc.0 as usize).ops as f64 / w1.seconds * scale / 1e6,
-        lat_ns: w1.tenant(pc.0 as usize).avg_op_cycles / freq,
-    };
-
-    // t=15 s: manually widen DDIO from 2 to 4 ways.
-    m.platform
-        .rdt_mut()
-        .set_ddio_mask(WayMask::contiguous(7, 4).expect("mask"))
-        .expect("valid ddio mask");
-    m.run_intervals(4);
-    let w2 = scenarios::measure(&mut m, 0, 4);
-    let p2 = PhaseResult {
-        mops: w2.tenant(pc.0 as usize).ops as f64 / w2.seconds * scale / 1e6,
-        lat_ns: w2.tenant(pc.0 as usize).avg_op_cycles / freq,
-    };
-    (p1, p2)
-}
+//! Thin alias: runs the `fig10` job group through the sweep engine
+//! (single-threaded) and refreshes its slice of `results/`.
+//! `repro` regenerates every figure at once.
 
 fn main() {
-    let sizes: [u32; 3] = [64, 1024, 1500];
-    let policies =
-        [PolicyKind::Baseline(0), PolicyKind::CoreOnly, PolicyKind::IoIso, PolicyKind::IatNoDdioResize];
-    let labels = ["baseline", "core-only", "io-iso", "iat"];
-
-    let mut t_thr = Table::new(
-        "Fig. 10a/c — container 4 X-Mem throughput (Mops/s): after 5s | after 15s",
-        &["pkt", "baseline", "core-only", "io-iso", "iat"],
-    );
-    let mut t_lat = Table::new(
-        "Fig. 10b/d — container 4 X-Mem avg latency (ns): after 5s | after 15s",
-        &["pkt", "baseline", "core-only", "io-iso", "iat"],
-    );
-    let mut json = Vec::new();
-
-    for &pkt in &sizes {
-        let mut thr_cells = vec![pkt.to_string()];
-        let mut lat_cells = vec![pkt.to_string()];
-        for (i, &policy) in policies.iter().enumerate() {
-            let (p1, p2) = run_case(pkt, policy);
-            thr_cells.push(format!("{} | {}", f(p1.mops, 1), f(p2.mops, 1)));
-            lat_cells.push(format!("{} | {}", f(p1.lat_ns, 0), f(p2.lat_ns, 0)));
-            json.push(serde_json::json!({
-                "packet_bytes": pkt,
-                "policy": labels[i],
-                "after_5s": { "mops": p1.mops, "avg_lat_ns": p1.lat_ns },
-                "after_15s": { "mops": p2.mops, "avg_lat_ns": p2.lat_ns },
-            }));
-        }
-        t_thr.row(&thr_cells);
-        t_lat.row(&lat_cells);
-    }
-    t_thr.print();
-    t_lat.print();
-    println!(
-        "\nPaper shape: after 5s IAT beats baseline everywhere (paper: +53.6%..+111.5%)\n\
-         and Core-only fades as packets grow; after the manual DDIO widening at 15s,\n\
-         Core-only collapses to baseline while IAT re-shuffles and keeps container 4\n\
-         isolated; I/O-iso protects latency but squeezes capacity."
-    );
-    save_json("fig10", &serde_json::Value::Array(json));
+    iat_bench::jobs::alias("fig10");
 }

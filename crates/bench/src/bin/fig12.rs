@@ -1,112 +1,7 @@
-//! Fig. 12: normalized execution time of non-networking applications
-//! (SPEC CPU2006 memory profiles + RocksDB) co-running with a networking
-//! application (Redis behind OVS, or a FastClick NF chain), for the
-//! baseline (min–max over randomly rotated initial layouts) and IAT
-//! (shuffle-enabled, tenant re-allocation disabled, per Sec. VI-C).
-
-use iat_bench::report::{f, FigureReport};
-use iat_bench::scenarios::{self, NetApp, PcApp, PolicyKind};
-use iat_workloads::{SpecProfile, YcsbMix};
-
-const WARM: usize = 3;
-const MEASURE: usize = 4;
-
-/// Rate metric of the PC workload: ops per modelled second.
-fn pc_rate(pc: PcApp, policy_runs: &mut dyn FnMut() -> (iat_bench::Managed, usize)) -> f64 {
-    let (mut m, idx) = policy_runs();
-    let _ = pc;
-    let win = scenarios::measure(&mut m, WARM, MEASURE);
-    win.ops_per_s(idx)
-}
+//! Thin alias: runs the `fig12` job group through the sweep engine
+//! (single-threaded) and refreshes its slice of `results/`.
+//! `repro` regenerates every figure at once.
 
 fn main() {
-    let pcs: Vec<(String, PcApp)> = {
-        let mut v: Vec<(String, PcApp)> = [
-            SpecProfile::mcf(),
-            SpecProfile::omnetpp(),
-            SpecProfile::xalancbmk(),
-            SpecProfile::gcc(),
-            SpecProfile::bzip2(),
-        ]
-        .into_iter()
-        .map(|p| (p.name.to_string(), PcApp::Spec(p)))
-        .collect();
-        v.push(("rocksdb".into(), PcApp::Rocks(YcsbMix::a())));
-        v
-    };
-    let nets = [("redis", NetApp::Redis), ("fastclick", NetApp::FastClick)];
-    let rotations = [0usize, 2, 4];
-
-    let mut fig = FigureReport::new(
-        "fig12",
-        "Fig. 12 — normalized execution time vs solo (1.0 = no slowdown)",
-        &["pc app", "net app", "baseline min", "baseline max", "iat"],
-    );
-
-    for (pc_name, pc) in &pcs {
-        // Solo rate of the PC app.
-        let solo = {
-            let mut mk = || {
-                let (m, id) = scenarios::pc_solo(*pc, 5);
-                (m, id.0 as usize)
-            };
-            pc_rate(*pc, &mut mk)
-        };
-        for (net_name, net) in &nets {
-            let mut baseline_norms = Vec::new();
-            for &rot in &rotations {
-                let mut mk = || {
-                    let (m, ids) = scenarios::app_scenario(
-                        *net,
-                        *pc,
-                        YcsbMix::b(),
-                        true,
-                        PolicyKind::Baseline(rot),
-                        5,
-                    );
-                    (m, ids.pc.expect("pc present").0 as usize)
-                };
-                let rate = pc_rate(*pc, &mut mk);
-                baseline_norms.push(solo / rate.max(1e-12));
-            }
-            let iat_norm = {
-                let mut mk = || {
-                    let (m, ids) = scenarios::app_scenario(
-                        *net,
-                        *pc,
-                        YcsbMix::b(),
-                        true,
-                        PolicyKind::IatShuffleOnly,
-                        5,
-                    );
-                    (m, ids.pc.expect("pc present").0 as usize)
-                };
-                let rate = pc_rate(*pc, &mut mk);
-                solo / rate.max(1e-12)
-            };
-            let (bmin, bmax) = (
-                baseline_norms.iter().cloned().fold(f64::INFINITY, f64::min),
-                baseline_norms.iter().cloned().fold(0.0f64, f64::max),
-            );
-            fig.row(
-                &[
-                    pc_name.clone(),
-                    (*net_name).into(),
-                    f(bmin, 3),
-                    f(bmax, 3),
-                    f(iat_norm, 3),
-                ],
-                serde_json::json!({
-                    "pc": pc_name, "net": net_name,
-                    "baseline_min": bmin, "baseline_max": bmax, "iat": iat_norm,
-                }),
-            );
-        }
-    }
-    fig.note(
-        "Paper shape: baseline degradations range up to ~15% (Redis) / ~25% (FastClick)\n\
-         depending on whether the random layout overlapped DDIO; IAT holds every\n\
-         application within a few percent of solo.",
-    );
-    fig.finish();
+    iat_bench::jobs::alias("fig12");
 }

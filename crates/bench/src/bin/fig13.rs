@@ -1,62 +1,7 @@
-//! Fig. 13: RocksDB's normalized weighted operation latency under YCSB
-//! A–F while co-running with the two networking applications, baseline
-//! (min–max over shuffled layouts) vs IAT.
-
-use iat_bench::report::{f, FigureReport};
-use iat_bench::scenarios::{self, NetApp, PcApp, PolicyKind};
-use iat_workloads::YcsbMix;
-
-const WARM: usize = 3;
-const MEASURE: usize = 4;
-
-fn rocks_latency(net: NetApp, mix: YcsbMix, policy: PolicyKind) -> f64 {
-    let (mut m, ids) = scenarios::app_scenario(net, PcApp::Rocks(mix), YcsbMix::b(), true, policy, 5);
-    let w = scenarios::measure(&mut m, WARM, MEASURE);
-    w.tenant(ids.pc.expect("pc present").0 as usize).avg_op_cycles
-}
+//! Thin alias: runs the `fig13` job group through the sweep engine
+//! (single-threaded) and refreshes its slice of `results/`.
+//! `repro` regenerates every figure at once.
 
 fn main() {
-    let nets = [("redis", NetApp::Redis), ("fastclick", NetApp::FastClick)];
-    let rotations = [0usize, 2, 4];
-    let mut fig = FigureReport::new(
-        "fig13",
-        "Fig. 13 — RocksDB normalized weighted latency vs solo (1.0 = no slowdown)",
-        &["ycsb", "net app", "baseline min", "baseline max", "iat"],
-    );
-
-    for mix in YcsbMix::all() {
-        // Solo latency of RocksDB under this mix.
-        let solo = {
-            let (mut m, id) = scenarios::pc_solo(PcApp::Rocks(mix), 5);
-            let w = scenarios::measure(&mut m, WARM, MEASURE);
-            w.tenant(id.0 as usize).avg_op_cycles
-        };
-        for (net_name, net) in &nets {
-            let mut base: Vec<f64> = rotations
-                .iter()
-                .map(|&r| rocks_latency(*net, mix, PolicyKind::Baseline(r)) / solo)
-                .collect();
-            base.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let iat = rocks_latency(*net, mix, PolicyKind::IatShuffleOnly) / solo;
-            fig.row(
-                &[
-                    mix.name.into(),
-                    (*net_name).into(),
-                    f(base[0], 3),
-                    f(*base.last().expect("nonempty"), 3),
-                    f(iat, 3),
-                ],
-                serde_json::json!({
-                    "ycsb": mix.name, "net": net_name,
-                    "baseline_min": base[0], "baseline_max": base.last(), "iat": iat,
-                }),
-            );
-        }
-    }
-    fig.note(
-        "Paper shape: baseline weighted latency up to 14.1% (Redis) / 19.7% (FastClick)\n\
-         longer than solo when the shuffled layout overlaps DDIO; IAT holds it to at\n\
-         most 6.4% / 9.9%.",
-    );
-    fig.finish();
+    iat_bench::jobs::alias("fig13");
 }

@@ -1,0 +1,74 @@
+//! `repro` — regenerate every figure/table capture under `results/` in
+//! one deterministic parallel sweep.
+//!
+//! The output is byte-identical for any `--jobs N` (see the determinism
+//! rules in `iat_runner`); `--smoke` runs the cheap deterministic subset
+//! and byte-compares it against the committed captures, which is the CI
+//! stale-results guard.
+
+use iat_runner::{check_outputs, parse_args, print_summary, progress, run, write_outputs, USAGE};
+use std::path::Path;
+
+fn main() {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            if e.is_empty() {
+                print!("{USAGE}");
+                return;
+            }
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let reg = iat_bench::jobs::registry();
+    if cli.list {
+        for name in reg.names() {
+            println!("{name}");
+        }
+        return;
+    }
+
+    progress(&format!(
+        "repro: {} worker(s), seed {}{}{}",
+        cli.opts.jobs,
+        cli.opts.root_seed,
+        if cli.opts.smoke { ", smoke subset" } else { "" },
+        if cli.check { ", check mode" } else { "" },
+    ));
+    let out = run(reg, &cli.opts);
+    print!("{}", out.stdout);
+
+    let dir = Path::new("results");
+    let mut exit = 0;
+    if cli.check {
+        let diverged = check_outputs(&out, dir);
+        for d in &diverged {
+            progress(&format!("STALE: {d}"));
+        }
+        if diverged.is_empty() {
+            progress(&format!(
+                "all {} regenerated file(s) match the committed captures",
+                out.files.len()
+            ));
+        } else {
+            progress("regenerate with `cargo run --release -p iat-bench --bin repro` and commit");
+            exit = 1;
+        }
+    } else if let Err(e) = write_outputs(&out, dir) {
+        progress(&format!("error: writing results/: {e}"));
+        exit = 1;
+    }
+
+    print_summary(&out);
+    for r in &out.reports {
+        if let iat_runner::Outcome::Failed(e) = &r.outcome {
+            progress(&format!("error: {}: {e}", r.name));
+        }
+    }
+    if out.failed() {
+        exit = 1;
+    }
+    std::process::exit(exit);
+}

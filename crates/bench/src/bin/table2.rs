@@ -1,18 +1,7 @@
-//! Table II: the IAT parameters.
-
-use iat::IatConfig;
-use iat_bench::report::Table;
+//! Thin alias: runs the `table2` job group through the sweep engine
+//! (single-threaded) and refreshes its slice of `results/`.
+//! `repro` regenerates every figure at once.
 
 fn main() {
-    let c = IatConfig::paper();
-    let mut t = Table::new("Table II — IAT parameters (paper defaults)", &["name", "value"]);
-    t.row(&["THRESHOLD_STABLE".into(), format!("{:.0}%", c.threshold_stable * 100.0)]);
-    t.row(&["THRESHOLD_MISS_LOW".into(), format!("{:.0}M/s", c.threshold_miss_low_per_s / 1e6)]);
-    t.row(&["DDIO_WAYS_MIN/MAX".into(), format!("{}/{}", c.ddio_ways_min, c.ddio_ways_max)]);
-    t.row(&["Sleep interval".into(), format!("{} second", c.sleep_interval_ns / 1_000_000_000)]);
-    t.print();
-    println!(
-        "\nNote: when driving the time-scaled simulation, THRESHOLD_MISS_LOW is divided\n\
-         by the platform's time scale (see PlatformConfig::scale_rate)."
-    );
+    iat_bench::jobs::alias("table2");
 }

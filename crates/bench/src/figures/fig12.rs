@@ -1,0 +1,116 @@
+//! Fig. 12: normalized execution time of non-networking applications
+//! (SPEC CPU2006 memory profiles + RocksDB) co-running with a networking
+//! application (Redis behind OVS, or a FastClick NF chain), for the
+//! baseline (min–max over randomly rotated initial layouts) and IAT
+//! (shuffle-enabled, tenant re-allocation disabled, per Sec. VI-C).
+//! One leaf job per PC application.
+
+use super::{merge_rows, rows_artifact};
+use crate::report::{f, FigureReport};
+use crate::scenarios::{self, NetApp, PcApp, PolicyKind};
+use iat_runner::{JobSpec, Registry};
+use iat_workloads::{SpecProfile, YcsbMix};
+use serde_json::Value;
+
+const WARM: usize = 3;
+const MEASURE: usize = 4;
+
+/// Rate metric of the PC workload: ops per modelled second.
+fn pc_rate(m: &mut crate::Managed, idx: usize) -> f64 {
+    let win = scenarios::measure(m, WARM, MEASURE);
+    win.ops_per_s(idx)
+}
+
+/// Both networking co-runners for one PC application.
+fn sweep(pc_name: &str, pc: PcApp, seed: u64) -> Vec<(Vec<String>, Value)> {
+    let nets = [("redis", NetApp::Redis), ("fastclick", NetApp::FastClick)];
+    let rotations = [0usize, 2, 4];
+    let mut rows = Vec::new();
+
+    // Solo rate of the PC app.
+    let solo = {
+        let (mut m, id) = scenarios::pc_solo(pc, seed);
+        pc_rate(&mut m, id.0 as usize)
+    };
+    for (net_name, net) in &nets {
+        let co_rate = |policy: PolicyKind| {
+            let (mut m, ids) = scenarios::app_scenario(*net, pc, YcsbMix::b(), true, policy, seed);
+            pc_rate(&mut m, ids.pc.expect("pc present").0 as usize)
+        };
+        let mut baseline_norms = Vec::new();
+        for &rot in &rotations {
+            let rate = co_rate(PolicyKind::Baseline(rot));
+            baseline_norms.push(solo / rate.max(1e-12));
+        }
+        let iat_norm = solo / co_rate(PolicyKind::IatShuffleOnly).max(1e-12);
+        let (bmin, bmax) = (
+            baseline_norms.iter().cloned().fold(f64::INFINITY, f64::min),
+            baseline_norms.iter().cloned().fold(0.0f64, f64::max),
+        );
+        rows.push((
+            vec![
+                pc_name.to_owned(),
+                (*net_name).into(),
+                f(bmin, 3),
+                f(bmax, 3),
+                f(iat_norm, 3),
+            ],
+            serde_json::json!({
+                "pc": pc_name, "net": net_name,
+                "baseline_min": bmin, "baseline_max": bmax, "iat": iat_norm,
+            }),
+        ));
+    }
+    rows
+}
+
+fn pc_apps() -> Vec<(String, PcApp)> {
+    let mut v: Vec<(String, PcApp)> = [
+        SpecProfile::mcf(),
+        SpecProfile::omnetpp(),
+        SpecProfile::xalancbmk(),
+        SpecProfile::gcc(),
+        SpecProfile::bzip2(),
+    ]
+    .into_iter()
+    .map(|p| (p.name.to_string(), PcApp::Spec(p)))
+    .collect();
+    v.push(("rocksdb".into(), PcApp::Rocks(YcsbMix::a())));
+    v
+}
+
+pub(crate) fn register(reg: &mut Registry) {
+    let leaves: Vec<String> = pc_apps()
+        .iter()
+        .map(|(name, _)| format!("fig12/{name}"))
+        .collect();
+    for (pc_name, pc) in pc_apps() {
+        reg.add(JobSpec::new(
+            format!("fig12/{pc_name}"),
+            "fig12",
+            move |ctx| Ok(rows_artifact(sweep(&pc_name, pc, ctx.seed("scenario")))),
+        ));
+    }
+    let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();
+    reg.add(
+        JobSpec::new("fig12", "fig12", {
+            let leaves = leaves.clone();
+            move |ctx| {
+                let mut fig = FigureReport::new(
+                    "fig12",
+                    "Fig. 12 — normalized execution time vs solo (1.0 = no slowdown)",
+                    &["pc app", "net app", "baseline min", "baseline max", "iat"],
+                );
+                merge_rows(&mut fig, ctx, &leaves);
+                fig.note(
+                    "Paper shape: baseline degradations range up to ~15% (Redis) / ~25% (FastClick)\n\
+                     depending on whether the random layout overlapped DDIO; IAT holds every\n\
+                     application within a few percent of solo.",
+                );
+                fig.finish(ctx);
+                Ok(Value::Null)
+            }
+        })
+        .deps(&deps),
+    );
+}

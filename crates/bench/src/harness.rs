@@ -72,12 +72,18 @@ impl Managed {
     pub fn step_interval_traced(&mut self, rec: &mut dyn Recorder) -> StepReport {
         self.platform.run_epochs(self.epochs_per_interval);
         self.intervals += 1;
-        let stamp = Stamp { iter: self.intervals, time_ns: self.platform.time_ns() };
-        let poll =
-            self.monitor.poll_traced(self.platform.llc(), self.platform.bank(), stamp, rec);
+        let stamp = Stamp {
+            iter: self.intervals,
+            time_ns: self.platform.time_ns(),
+        };
+        let poll = self
+            .monitor
+            .poll_traced(self.platform.llc(), self.platform.bank(), stamp, rec);
         self.last_poll = Some(poll.clone());
         self.platform.sweep_nic_telemetry(stamp, rec);
-        let report = self.policy.step_traced(self.platform.rdt_mut(), poll, stamp.time_ns, rec);
+        let report = self
+            .policy
+            .step_traced(self.platform.rdt_mut(), poll, stamp.time_ns, rec);
         self.last_report = Some(report);
         report
     }

@@ -1,0 +1,51 @@
+//! The full figure/table job registry and the shared entry points used
+//! by the `repro` binary and the per-figure alias binaries.
+
+use crate::figures;
+use iat_runner::{progress, run, write_outputs, Outcome, Registry, RunOptions};
+use std::path::Path;
+
+/// Builds the registry of every paper figure/table job. Registration
+/// order is the output order — it never depends on worker scheduling.
+pub fn registry() -> Registry {
+    let mut reg = Registry::new();
+    figures::table1::register(&mut reg);
+    figures::table2::register(&mut reg);
+    figures::fig03::register(&mut reg);
+    figures::fig04::register(&mut reg);
+    figures::fig08::register(&mut reg);
+    figures::fig09::register(&mut reg);
+    figures::fig10::register(&mut reg);
+    figures::fig11::register(&mut reg);
+    figures::fig12::register(&mut reg);
+    figures::fig13::register(&mut reg);
+    figures::fig14::register(&mut reg);
+    figures::fig15::register(&mut reg);
+    figures::ablation::register(&mut reg);
+    reg
+}
+
+/// Entry point of the thin per-figure binaries (`fig08`, `table1`, …):
+/// runs one figure group single-threaded, prints its console capture and
+/// refreshes its slice of `results/`. Exits non-zero if any job failed.
+pub fn alias(group: &str) {
+    let opts = RunOptions {
+        jobs: 1,
+        only: vec![group.to_owned()],
+        ..RunOptions::default()
+    };
+    let out = run(registry(), &opts);
+    print!("{}", out.stdout);
+    if let Err(e) = write_outputs(&out, Path::new("results")) {
+        progress(&format!("error: writing results/: {e}"));
+        std::process::exit(1);
+    }
+    for r in &out.reports {
+        if let Outcome::Failed(e) = &r.outcome {
+            progress(&format!("error: {}: {e}", r.name));
+        }
+    }
+    if out.failed() {
+        std::process::exit(1);
+    }
+}

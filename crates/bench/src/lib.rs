@@ -5,18 +5,24 @@
 //! baseline) through the performance-counter monitor, and provides the
 //! scenario builders and reporting helpers the per-figure binaries share.
 //!
-//! One binary per paper table/figure lives in `src/bin/` (`fig03` …
-//! `fig15`, `table1`, `table2`); Criterion benches live in `benches/`.
-//! Run e.g.:
+//! Every paper table/figure is registered as a job graph with the
+//! [`iat_runner`] sweep engine (see [`jobs::registry`]); the `repro`
+//! binary regenerates all of `results/` in one deterministic parallel
+//! sweep, and one thin alias binary per figure remains in `src/bin/`
+//! (`fig03` … `fig15`, `table1`, `table2`). Criterion benches live in
+//! `benches/`. Run e.g.:
 //!
 //! ```text
+//! cargo run --release -p iat-bench --bin repro -- --jobs 8
 //! cargo run --release -p iat-bench --bin fig08
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod figures;
 pub mod harness;
+pub mod jobs;
 pub mod report;
 pub mod scenarios;
 

@@ -1,10 +1,12 @@
 //! Reporting helpers: aligned console tables plus JSON dumps under
-//! `results/` so EXPERIMENTS.md numbers are regenerable, and telemetry
-//! trace/metrics sinks for per-run flight-recorder output.
+//! `results/`, all routed through the runner's [`JobCtx`] so that
+//! console text and result files are staged per job and emitted
+//! deterministically — the per-figure binaries and the `repro` sweep
+//! share one code path.
 
+use iat_runner::JobCtx;
 use iat_telemetry::{Event, JsonlRecorder, MetricsSnapshot, Recorder as _};
 use std::fmt::Write as _;
-use std::path::Path;
 
 /// A simple aligned text table.
 #[derive(Debug, Clone)]
@@ -60,9 +62,9 @@ impl Table {
         out
     }
 
-    /// Prints the table to stdout.
-    pub fn print(&self) {
-        print!("{}", self.render());
+    /// Renders the table into the job's console output.
+    pub fn write_to(&self, ctx: &mut JobCtx) {
+        ctx.out(&self.render());
     }
 }
 
@@ -76,48 +78,27 @@ pub fn pct(v: f64) -> String {
     format!("{:.1}%", v * 100.0)
 }
 
-/// Writes a JSON value under `results/<name>.json` (relative to the
-/// workspace root when run via cargo).
-pub fn save_json(name: &str, value: &serde_json::Value) {
-    save_bytes(
-        &format!("{name}.json"),
-        serde_json::to_string_pretty(value).expect("serializable").as_bytes(),
-    );
-}
-
-/// Writes a telemetry event trace as JSON lines under
+/// Stages a telemetry event trace as JSON lines for
 /// `results/<name>.jsonl`, one event object per line.
-pub fn save_trace(name: &str, events: &[Event]) {
+pub fn save_trace(ctx: &mut JobCtx, name: &str, events: &[Event]) {
     let mut rec = JsonlRecorder::new(Vec::new());
     for e in events {
         rec.record(e.clone());
     }
-    let bytes = rec.into_inner();
-    save_bytes(&format!("{name}.jsonl"), &bytes);
+    ctx.save_bytes(&format!("{name}.jsonl"), rec.into_inner());
 }
 
-/// Writes a metrics summary under `results/<name>.metrics.json`.
-pub fn save_metrics(name: &str, metrics: &MetricsSnapshot) {
-    save_bytes(&format!("{name}.metrics.json"), metrics.to_json().pretty().as_bytes());
+/// Stages a metrics summary for `results/<name>.metrics.json`.
+pub fn save_metrics(ctx: &mut JobCtx, name: &str, metrics: &MetricsSnapshot) {
+    let mut text = metrics.to_json().pretty();
+    text.push('\n');
+    ctx.save_bytes(&format!("{name}.metrics.json"), text.into_bytes());
 }
 
-fn save_bytes(file: &str, bytes: &[u8]) {
-    let dir = Path::new("results");
-    if std::fs::create_dir_all(dir).is_err() {
-        eprintln!("warning: could not create results/; skipping {file}");
-        return;
-    }
-    let path = dir.join(file);
-    match std::fs::write(&path, bytes) {
-        Ok(()) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-    }
-}
-
-/// The shared figure-binary skeleton: an aligned table, a parallel JSON
-/// row list, an optional closing "Paper shape" note, and the
-/// `results/<name>.json` dump — rendered byte-identically to the
-/// hand-rolled plumbing the `fig*` binaries used to repeat.
+/// The shared figure skeleton: an aligned table, a parallel JSON row
+/// list, an optional closing "Paper shape" note, and the
+/// `results/<name>.json` dump — assembled by a figure's merge job from
+/// the rows its leaf jobs computed.
 #[derive(Debug)]
 pub struct FigureReport {
     name: String,
@@ -161,13 +142,16 @@ impl FigureReport {
         self.note = Some(text.to_owned());
     }
 
-    /// Prints the table (and note), then saves `results/<name>.json`.
-    pub fn finish(self) {
-        self.table.print();
+    /// Renders the table (and note) into the job's console output,
+    /// then stages `results/<name>.json`.
+    pub fn finish(self, ctx: &mut JobCtx) {
+        ctx.metrics
+            .counter_add("bench.rows", self.json.len() as u64);
+        self.table.write_to(ctx);
         if let Some(n) = &self.note {
-            println!("\n{n}");
+            ctx.outln(&format!("\n{n}"));
         }
-        save_json(&self.name, &serde_json::Value::Array(self.json));
+        ctx.save_json(&self.name, &serde_json::Value::Array(self.json));
     }
 }
 

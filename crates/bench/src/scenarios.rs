@@ -79,12 +79,18 @@ pub fn make_policy(kind: PolicyKind, ways: u8, config: &PlatformConfig) -> Box<d
         PolicyKind::Iat => Box::new(IatDaemon::new(iat_config, IatFlags::full(), ways)),
         PolicyKind::IatShuffleOnly => Box::new(IatDaemon::new(
             iat_config,
-            IatFlags { tenant_realloc: false, ..IatFlags::full() },
+            IatFlags {
+                tenant_realloc: false,
+                ..IatFlags::full()
+            },
             ways,
         )),
         PolicyKind::IatNoDdioResize => Box::new(IatDaemon::new(
             iat_config,
-            IatFlags { io_demand: false, ..IatFlags::full() },
+            IatFlags {
+                io_demand: false,
+                ..IatFlags::full()
+            },
             ways,
         )),
     }
@@ -123,7 +129,9 @@ pub fn fwd_aggregation(
     // Virtio-style channels between OVS and the two tenants.
     let mk_chan = |platform: &mut Platform, alloc: &mut AddrAlloc| {
         let base = alloc.alloc(RING_ENTRIES as u64 * (BUF_STRIDE + 64) + (1 << 20));
-        platform.channels_mut().add(RxRing::new(base, RING_ENTRIES, BUF_STRIDE))
+        platform
+            .channels_mut()
+            .add(RxRing::new(base, RING_ENTRIES, BUF_STRIDE))
     };
     let to0 = mk_chan(&mut platform, &mut alloc);
     let from0 = mk_chan(&mut platform, &mut alloc);
@@ -135,8 +143,14 @@ pub fn fwd_aggregation(
     let ovs = OvsSwitch::new(
         ports,
         vec![
-            iat_workloads::Attachment { to_tenant: to0, from_tenant: from0 },
-            iat_workloads::Attachment { to_tenant: to1, from_tenant: from1 },
+            iat_workloads::Attachment {
+                to_tenant: to0,
+                from_tenant: from0,
+            },
+            iat_workloads::Attachment {
+                to_tenant: to1,
+                from_tenant: from1,
+            },
         ],
         emc_base,
         mega_base,
@@ -147,7 +161,9 @@ pub fn fwd_aggregation(
         if flows_per_port <= 1 {
             FlowDist::Single(FlowId(first_flow))
         } else {
-            FlowDist::Uniform { count: flows_per_port }
+            FlowDist::Uniform {
+                count: flows_per_port,
+            }
         }
     };
 
@@ -159,8 +175,14 @@ pub fn fwd_aggregation(
         clos: ClosId::new(1),
         workload: Box::new(ovs),
         bindings: vec![
-            TrafficBinding { port: 0, gen: gen(LINE_RATE_40G, packet_bytes, dist(0), seed) },
-            TrafficBinding { port: 1, gen: gen(LINE_RATE_40G, packet_bytes, dist(1), seed + 1) },
+            TrafficBinding {
+                port: 0,
+                gen: gen(LINE_RATE_40G, packet_bytes, dist(0), seed),
+            },
+            TrafficBinding {
+                port: 1,
+                gen: gen(LINE_RATE_40G, packet_bytes, dist(1), seed + 1),
+            },
         ],
     });
     platform.add_tenant(Tenant {
@@ -212,7 +234,13 @@ pub fn fwd_aggregation(
     let ways = config.llc.ways();
     let policy = make_policy(policy, ways, &config);
     let managed = Managed::new(platform, policy, infos, 1_000_000_000);
-    (managed, AggregationIds { ovs: TenantId(0), pmd: [TenantId(1), TenantId(2)] })
+    (
+        managed,
+        AggregationIds {
+            ovs: TenantId(0),
+            pmd: [TenantId(1), TenantId(2)],
+        },
+    )
 }
 
 /// Builds the Fig. 3 setup: one `l3fwd` tenant on one core and two LLC
@@ -234,9 +262,15 @@ pub fn l3fwd_slicing(
 
     platform
         .rdt_mut()
-        .set_clos_mask(ClosId::new(1), iat_cachesim::WayMask::contiguous(0, 2).expect("mask"))
+        .set_clos_mask(
+            ClosId::new(1),
+            iat_cachesim::WayMask::contiguous(0, 2).expect("mask"),
+        )
         .expect("valid mask");
-    platform.rdt_mut().associate_core(0, ClosId::new(1)).expect("core exists");
+    platform
+        .rdt_mut()
+        .associate_core(0, ClosId::new(1))
+        .expect("core exists");
 
     platform.add_tenant(Tenant {
         id: TenantId(0),
@@ -247,7 +281,12 @@ pub fn l3fwd_slicing(
         workload: Box::new(fwd),
         bindings: vec![TrafficBinding {
             port: 0,
-            gen: gen(rate_bps, packet_bytes, FlowDist::Uniform { count: 1 << 20 }, seed),
+            gen: gen(
+                rate_bps,
+                packet_bytes,
+                FlowDist::Uniform { count: 1 << 20 },
+                seed,
+            ),
         }],
     });
     (platform, TenantId(0))
@@ -270,14 +309,18 @@ pub fn latent_contender(
     let xmem = XMem::new(alloc.alloc(64 << 20), working_set, seed);
 
     let rdt = platform.rdt_mut();
-    rdt.set_clos_mask(ClosId::new(1), iat_cachesim::WayMask::contiguous(0, 2).expect("mask"))
-        .expect("valid mask");
+    rdt.set_clos_mask(
+        ClosId::new(1),
+        iat_cachesim::WayMask::contiguous(0, 2).expect("mask"),
+    )
+    .expect("valid mask");
     let xmem_ways = if ddio_overlap {
         iat_cachesim::WayMask::contiguous(9, 2).expect("mask")
     } else {
         iat_cachesim::WayMask::contiguous(2, 2).expect("mask")
     };
-    rdt.set_clos_mask(ClosId::new(2), xmem_ways).expect("valid mask");
+    rdt.set_clos_mask(ClosId::new(2), xmem_ways)
+        .expect("valid mask");
     rdt.associate_core(0, ClosId::new(1)).expect("core exists");
     rdt.associate_core(1, ClosId::new(2)).expect("core exists");
 
@@ -290,7 +333,12 @@ pub fn latent_contender(
         workload: Box::new(fwd),
         bindings: vec![TrafficBinding {
             port: 0,
-            gen: gen(LINE_RATE_40G, packet_bytes, FlowDist::Uniform { count: 1 << 20 }, seed),
+            gen: gen(
+                LINE_RATE_40G,
+                packet_bytes,
+                FlowDist::Uniform { count: 1 << 20 },
+                seed,
+            ),
         }],
     });
     platform.add_tenant(Tenant {
@@ -319,16 +367,15 @@ pub struct SlicingIds {
 /// Builds the Fig. 10/11 setup: a PC `testpmd` pair on two VFs (2 cores,
 /// 3 ways), two BE X-Mem containers and one PC X-Mem container (1 core,
 /// 2 ways each), all X-Mem at a 2 MB working set initially.
-pub fn slicing_pmd_xmem(
-    packet_bytes: u32,
-    policy: PolicyKind,
-    seed: u64,
-) -> (Managed, SlicingIds) {
+pub fn slicing_pmd_xmem(packet_bytes: u32, policy: PolicyKind, seed: u64) -> (Managed, SlicingIds) {
     let config = PlatformConfig::xeon_6140();
     let mut platform = Platform::new(config);
     let mut alloc = AddrAlloc::new();
     let mut nic = Nic::with_pool(NIC_BASE, 2, RING_ENTRIES, BUF_STRIDE, MBUF_POOL);
-    let pmd = TestPmd::with_ports(vec![nic.vf_mut(VfId(0)).clone(), nic.vf_mut(VfId(1)).clone()]);
+    let pmd = TestPmd::with_ports(vec![
+        nic.vf_mut(VfId(0)).clone(),
+        nic.vf_mut(VfId(1)).clone(),
+    ]);
 
     platform.add_tenant(Tenant {
         id: TenantId(0),
@@ -340,11 +387,21 @@ pub fn slicing_pmd_xmem(
         bindings: vec![
             TrafficBinding {
                 port: 0,
-                gen: gen(LINE_RATE_40G, packet_bytes, FlowDist::Single(FlowId(0)), seed),
+                gen: gen(
+                    LINE_RATE_40G,
+                    packet_bytes,
+                    FlowDist::Single(FlowId(0)),
+                    seed,
+                ),
             },
             TrafficBinding {
                 port: 1,
-                gen: gen(LINE_RATE_40G, packet_bytes, FlowDist::Single(FlowId(1)), seed + 1),
+                gen: gen(
+                    LINE_RATE_40G,
+                    packet_bytes,
+                    FlowDist::Single(FlowId(1)),
+                    seed + 1,
+                ),
             },
         ],
     });
@@ -380,7 +437,11 @@ pub fn slicing_pmd_xmem(
     let managed = Managed::new(platform, policy, infos, 1_000_000_000);
     (
         managed,
-        SlicingIds { pmd: TenantId(0), be: [TenantId(1), TenantId(2)], pc: TenantId(3) },
+        SlicingIds {
+            pmd: TenantId(0),
+            be: [TenantId(1), TenantId(2)],
+            pc: TenantId(3),
+        },
     )
 }
 
@@ -432,17 +493,21 @@ pub fn app_scenario(
     let mut platform = Platform::new(config);
     let mut alloc = AddrAlloc::new();
     let mut infos = Vec::new();
-    let mut ids = AppIds { net: [None; 3], pc: None, be: [None; 2] };
+    let mut ids = AppIds {
+        net: [None; 3],
+        pc: None,
+        be: [None; 2],
+    };
     let mut next_id = 0u16;
     #[allow(unused_assignments)]
     let mut next_core = 0usize;
 
     let push_info = |infos: &mut Vec<TenantInfo>,
-                         id: u16,
-                         cores: Vec<usize>,
-                         priority: Priority,
-                         is_io: bool,
-                         ways: u8| {
+                     id: u16,
+                     cores: Vec<usize>,
+                     priority: Priority,
+                     is_io: bool,
+                     ways: u8| {
         infos.push(TenantInfo {
             agent: AgentId::new(id),
             clos: ClosId::new((id + 1) as u8),
@@ -459,7 +524,9 @@ pub fn app_scenario(
             let ports = vec![nic.vf_mut(VfId(0)).clone(), nic.vf_mut(VfId(1)).clone()];
             let mk_chan = |platform: &mut Platform, alloc: &mut AddrAlloc| {
                 let base = alloc.alloc(RING_ENTRIES as u64 * (BUF_STRIDE + 64) + (1 << 20));
-                platform.channels_mut().add(RxRing::new(base, RING_ENTRIES, BUF_STRIDE))
+                platform
+                    .channels_mut()
+                    .add(RxRing::new(base, RING_ENTRIES, BUF_STRIDE))
             };
             let to0 = mk_chan(&mut platform, &mut alloc);
             let from0 = mk_chan(&mut platform, &mut alloc);
@@ -470,8 +537,14 @@ pub fn app_scenario(
             let ovs = OvsSwitch::new(
                 ports,
                 vec![
-                    iat_workloads::Attachment { to_tenant: to0, from_tenant: from0 },
-                    iat_workloads::Attachment { to_tenant: to1, from_tenant: from1 },
+                    iat_workloads::Attachment {
+                        to_tenant: to0,
+                        from_tenant: from0,
+                    },
+                    iat_workloads::Attachment {
+                        to_tenant: to1,
+                        from_tenant: from1,
+                    },
                 ],
                 emc,
                 mega,
@@ -479,8 +552,15 @@ pub fn app_scenario(
             );
             // YCSB load: ~1.7 Mpps of 128 B requests per port, Zipfian keys.
             let req_rate = iat_netsim::rate_for_pps(1.7e6, 128);
-            let kv_cfg = KvConfig { records: 1_000_000, value_bytes: 1024, scan_len: 8 };
-            let zipf = FlowDist::Zipf { count: 1_000_000, s: 0.99 };
+            let kv_cfg = KvConfig {
+                records: 1_000_000,
+                value_bytes: 1024,
+                scan_len: 8,
+            };
+            let zipf = FlowDist::Zipf {
+                count: 1_000_000,
+                s: 0.99,
+            };
 
             platform.add_tenant(Tenant {
                 id: TenantId(next_id),
@@ -490,8 +570,14 @@ pub fn app_scenario(
                 clos: ClosId::new(next_id as u8 + 1),
                 workload: Box::new(ovs),
                 bindings: vec![
-                    TrafficBinding { port: 0, gen: gen(req_rate, 128, zipf.clone(), seed) },
-                    TrafficBinding { port: 1, gen: gen(req_rate, 128, zipf, seed + 1) },
+                    TrafficBinding {
+                        port: 0,
+                        gen: gen(req_rate, 128, zipf.clone(), seed),
+                    },
+                    TrafficBinding {
+                        port: 1,
+                        gen: gen(req_rate, 128, zipf, seed + 1),
+                    },
                 ],
             });
             push_info(&mut infos, next_id, vec![0, 1], Priority::Stack, true, 1);
@@ -524,7 +610,11 @@ pub fn app_scenario(
             let chain = NfChain::with_ports(
                 ports,
                 state,
-                NfChainConfig { firewall_rules: 4096, stat_entries: 1 << 16, napt_entries: 1 << 16 },
+                NfChainConfig {
+                    firewall_rules: 4096,
+                    stat_entries: 1 << 16,
+                    napt_entries: 1 << 16,
+                },
             );
             let bindings = (0..4)
                 .map(|p| TrafficBinding {
@@ -621,11 +711,21 @@ pub fn pc_solo(pc: PcApp, seed: u64) -> (Managed, TenantId) {
     let mut platform = Platform::new(config);
     let mut alloc = AddrAlloc::new();
     let (workload, name): (Box<dyn iat_workloads::Workload>, &str) = match pc {
-        PcApp::Spec(p) => {
-            (Box::new(SpecWorkload::new(alloc.alloc(p.footprint + (1 << 20)), p, seed)), p.name)
-        }
+        PcApp::Spec(p) => (
+            Box::new(SpecWorkload::new(
+                alloc.alloc(p.footprint + (1 << 20)),
+                p,
+                seed,
+            )),
+            p.name,
+        ),
         PcApp::Rocks(m) => (
-            Box::new(RocksLike::new(alloc.alloc(2 << 30), RocksConfig::default(), m, seed)),
+            Box::new(RocksLike::new(
+                alloc.alloc(2 << 30),
+                RocksConfig::default(),
+                m,
+                seed,
+            )),
             "rocksdb",
         ),
         PcApp::None => panic!("pc_solo needs a PC workload"),
@@ -648,7 +748,10 @@ pub fn pc_solo(pc: PcApp, seed: u64) -> (Managed, TenantId) {
         initial_ways: 2,
     }];
     let policy = make_policy(PolicyKind::Baseline(0), config.llc.ways(), &config);
-    (Managed::new(platform, policy, infos, 1_000_000_000), TenantId(0))
+    (
+        Managed::new(platform, policy, infos, 1_000_000_000),
+        TenantId(0),
+    )
 }
 
 /// A measurement window over a managed run.
@@ -692,5 +795,9 @@ pub fn measure(managed: &mut Managed, warm: usize, measure_intervals: usize) -> 
         .iter()
         .map(|t| t.workload.metrics())
         .collect();
-    Window { seconds, deltas: Managed::deltas_between(&before, &after), metrics }
+    Window {
+        seconds,
+        deltas: Managed::deltas_between(&before, &after),
+        metrics,
+    }
 }

@@ -1,0 +1,80 @@
+//! The runner's headline guarantee, exercised on real figure jobs:
+//! `repro --jobs 1` and `repro --jobs 4` produce byte-identical output.
+//!
+//! Uses the two cheap fully-deterministic groups (`fig15`, `table2`) so
+//! the test stays fast; the engine-level tests in `iat-runner` cover the
+//! scheduling corner cases on synthetic graphs.
+
+use iat_bench::jobs::registry;
+use iat_runner::{run, Outcome, RunOptions};
+
+fn opts(jobs: usize) -> RunOptions {
+    RunOptions {
+        jobs,
+        only: vec!["fig15".to_owned(), "table2".to_owned()],
+        smoke: false,
+        root_seed: 0,
+    }
+}
+
+#[test]
+fn jobs_1_and_jobs_4_are_byte_identical() {
+    let serial = run(registry(), &opts(1));
+    let parallel = run(registry(), &opts(4));
+
+    for out in [&serial, &parallel] {
+        assert!(!out.failed(), "jobs failed: {:?}", out.reports);
+        assert!(!out.stdout.is_empty());
+        assert!(!out.files.is_empty());
+    }
+    assert_eq!(serial.stdout, parallel.stdout);
+    let names =
+        |o: &iat_runner::RunOutput| o.files.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+    assert_eq!(names(&serial), names(&parallel));
+    for ((name, a), (_, b)) in serial.files.iter().zip(&parallel.files) {
+        assert_eq!(
+            a, b,
+            "results file {name} differs between --jobs 1 and --jobs 4"
+        );
+    }
+    assert_eq!(
+        serial.metrics.snapshot().to_json(),
+        parallel.metrics.snapshot().to_json(),
+        "merged telemetry differs between worker counts"
+    );
+}
+
+#[test]
+fn smoke_subset_is_run_length_independent() {
+    // The smoke jobs are the CI stale-results guard; they must not
+    // depend on the seed (they are config dumps / modelled-cost sweeps).
+    let a = run(
+        registry(),
+        &RunOptions {
+            jobs: 2,
+            smoke: true,
+            ..RunOptions::default()
+        },
+    );
+    let b = run(
+        registry(),
+        &RunOptions {
+            jobs: 2,
+            smoke: true,
+            root_seed: 1234,
+            ..RunOptions::default()
+        },
+    );
+    assert!(!a.failed() && !b.failed());
+    assert!(a.reports.iter().all(|r| r.outcome == Outcome::Ok));
+    assert_eq!(
+        a.reports
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect::<Vec<_>>(),
+        vec!["table1", "table2", "fig15"],
+        "smoke set changed — update the CI guard and EXPERIMENTS.md"
+    );
+    assert_eq!(a.stdout, b.stdout);
+    assert_eq!(a.files, b.files);
+}

@@ -1,0 +1,129 @@
+//! Argument parsing for the `repro` binary (and the per-figure alias
+//! binaries, which reuse the same engine with a fixed filter).
+
+use crate::RunOptions;
+
+/// Parsed `repro` command line.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    /// Engine options.
+    pub opts: RunOptions,
+    /// Byte-compare staged outputs against `results/` instead of
+    /// writing (implied by `--smoke`).
+    pub check: bool,
+    /// List jobs and exit.
+    pub list: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            jobs: default_jobs(),
+            only: Vec::new(),
+            smoke: false,
+            root_seed: 0,
+        }
+    }
+}
+
+/// Default worker count: the machine's parallelism, capped at 8 (the
+/// sweep has ~50 jobs; more workers than that buys nothing).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get().min(8))
+}
+
+/// Usage text for `repro --help`.
+pub const USAGE: &str = "\
+repro — regenerate every figure/table capture under results/
+
+USAGE:
+    repro [--jobs N] [--only NAME]... [--smoke] [--check] [--seed N] [--list]
+
+OPTIONS:
+    --jobs N     worker threads (default: min(cores, 8)); output is
+                 byte-identical for every N
+    --only NAME  run one figure group (e.g. fig12) or a single job
+                 (e.g. fig12/rocksdb); repeatable
+    --smoke      run only the cheap deterministic subset and byte-compare
+                 it against the committed captures (implies --check)
+    --check      byte-compare regenerated outputs against results/
+                 instead of writing; exit 1 on divergence
+    --seed N     root seed for per-job seed derivation (default 0 — the
+                 committed captures' seed)
+    --list       list jobs and exit
+";
+
+/// Parses `repro` arguments.
+///
+/// # Errors
+///
+/// Returns a message (print it with [`USAGE`]) on unknown flags or
+/// malformed values.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                cli.opts.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --jobs value {v:?}"))?
+                    .max(1);
+            }
+            "--only" => {
+                cli.opts.only.push(it.next().ok_or("--only needs a value")?);
+            }
+            "--smoke" => {
+                cli.opts.smoke = true;
+                cli.check = true;
+            }
+            "--check" => cli.check = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cli.opts.root_seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --seed value {v:?}"))?;
+            }
+            "--list" => cli.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags() {
+        let cli = parse_args(
+            [
+                "--jobs", "4", "--only", "fig12", "--only", "fig13/a", "--seed", "7", "--check",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cli.opts.jobs, 4);
+        assert_eq!(
+            cli.opts.only,
+            vec!["fig12".to_owned(), "fig13/a".to_owned()]
+        );
+        assert_eq!(cli.opts.root_seed, 7);
+        assert!(cli.check && !cli.opts.smoke && !cli.list);
+    }
+
+    #[test]
+    fn smoke_implies_check() {
+        let cli = parse_args(["--smoke".to_owned()]).unwrap();
+        assert!(cli.opts.smoke && cli.check);
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse_args(["--frobnicate".to_owned()]).is_err());
+        assert!(parse_args(["--jobs".to_owned(), "zero?".to_owned()]).is_err());
+    }
+}

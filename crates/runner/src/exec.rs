@@ -1,0 +1,412 @@
+//! The sweep engine: deterministic scheduling of the job graph across a
+//! small `std::thread` worker pool, plus output writing / checking and
+//! the cost summary.
+
+use crate::job::{JobCtx, JobFn, Registry};
+use iat_telemetry::Metrics;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Options for one sweep execution.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Group or job-name filters; empty selects everything. Transitive
+    /// dependencies of a selected job are pulled in automatically.
+    pub only: Vec<String>,
+    /// Restrict to the smoke subset ([`crate::JobSpec::smoke`]).
+    pub smoke: bool,
+    /// Root of the per-job seed derivation.
+    pub root_seed: u64,
+}
+
+/// How one job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion.
+    Ok,
+    /// The body returned an error or panicked.
+    Failed(String),
+    /// Not run because a dependency failed.
+    Skipped,
+}
+
+/// One job's execution record.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Figure group.
+    pub group: String,
+    /// How it ended.
+    pub outcome: Outcome,
+    /// Wall-clock execution time (zero when skipped).
+    pub wall: Duration,
+}
+
+/// Everything a sweep produced, in registration order — independent of
+/// worker count and scheduling, which is the engine's core guarantee.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Per-job records, in registration order.
+    pub reports: Vec<JobReport>,
+    /// Concatenated job console output, in registration order.
+    pub stdout: String,
+    /// Staged result files (`results/`-relative path, bytes), in
+    /// registration order; per-group console captures (`<group>.txt`)
+    /// are appended after the jobs' own files.
+    pub files: Vec<(String, Vec<u8>)>,
+    /// All jobs' telemetry registries folded together with
+    /// [`Metrics::merge`].
+    pub metrics: Metrics,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+}
+
+impl RunOutput {
+    /// Whether any job failed or was skipped.
+    pub fn failed(&self) -> bool {
+        self.reports.iter().any(|r| r.outcome != Outcome::Ok)
+    }
+}
+
+/// Streams one progress line to stderr — the single helper every
+/// harness-side progress message goes through (job completions, file
+/// writes, divergence reports), so captures of stdout stay clean.
+pub fn progress(msg: &str) {
+    eprintln!("{msg}");
+}
+
+struct Sched {
+    /// `run` closures, taken when a worker claims the job.
+    bodies: Vec<Option<JobFn>>,
+    /// Unmet-dependency counts, by job index.
+    indegree: Vec<usize>,
+    /// Reverse edges, by job index.
+    dependents: Vec<Vec<usize>>,
+    /// Ready job indices; workers always claim the smallest.
+    ready: Vec<usize>,
+    /// Completed artifacts.
+    artifacts: Vec<Option<Value>>,
+    outcomes: Vec<Option<Outcome>>,
+    ctxs: Vec<Option<JobCtx>>,
+    walls: Vec<Duration>,
+    running: usize,
+    done: usize,
+    total: usize,
+}
+
+/// Resolves `opts.only` / `opts.smoke` against the registry: selected
+/// jobs plus their transitive dependencies, as an include mask.
+fn select(reg: &Registry, opts: &RunOptions) -> Vec<bool> {
+    let n = reg.jobs.len();
+    let mut include = vec![false; n];
+    for (i, j) in reg.jobs.iter().enumerate() {
+        let picked = if opts.smoke {
+            j.smoke
+        } else if opts.only.is_empty() {
+            true
+        } else {
+            opts.only.iter().any(|o| o == &j.group || o == &j.name)
+        };
+        include[i] = picked;
+    }
+    // Pull in transitive dependencies (deps always precede dependents
+    // in registration order, so one reverse pass suffices).
+    let index: BTreeMap<&str, usize> = reg
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (j.name.as_str(), i))
+        .collect();
+    for i in (0..n).rev() {
+        if include[i] {
+            for d in &reg.jobs[i].deps {
+                include[index[d.as_str()]] = true;
+            }
+        }
+    }
+    include
+}
+
+/// Executes the registry's selected jobs and returns the collected
+/// output. Files are staged, not written — pass the output to
+/// [`write_outputs`] or [`check_outputs`].
+pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
+    struct Meta {
+        name: String,
+        group: String,
+        deps: Vec<String>,
+    }
+
+    let started = Instant::now();
+    let include = select(&reg, opts);
+    let index: BTreeMap<String, usize> = reg
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (j.name.clone(), i))
+        .collect();
+    // Bodies move into the scheduler; shareable metadata stays out here
+    // so worker threads can read it without touching the specs.
+    let metas: Vec<Meta> = reg
+        .jobs
+        .iter()
+        .map(|j| Meta {
+            name: j.name.clone(),
+            group: j.group.clone(),
+            deps: j.deps.clone(),
+        })
+        .collect();
+
+    let n = reg.jobs.len();
+    let mut sched = Sched {
+        bodies: reg.jobs.iter_mut().map(|j| j.run.take()).collect(),
+        indegree: vec![0; n],
+        dependents: vec![Vec::new(); n],
+        ready: Vec::new(),
+        artifacts: vec![None; n],
+        outcomes: vec![None; n],
+        ctxs: (0..n).map(|_| None).collect(),
+        walls: vec![Duration::ZERO; n],
+        running: 0,
+        done: 0,
+        total: 0,
+    };
+    for (i, j) in metas.iter().enumerate() {
+        if !include[i] {
+            continue;
+        }
+        sched.total += 1;
+        let mut unmet = 0;
+        for d in &j.deps {
+            let di = index[d];
+            debug_assert!(include[di], "selection must be dependency-closed");
+            sched.dependents[di].push(i);
+            unmet += 1;
+        }
+        sched.indegree[i] = unmet;
+        if unmet == 0 {
+            sched.ready.push(i);
+        }
+    }
+    sched.ready.sort_unstable();
+
+    let total = sched.total;
+    let state = Mutex::new(sched);
+    let cv = Condvar::new();
+    let workers = opts.jobs.max(1).min(total.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let (i, body, deps) = {
+                    let mut s = state.lock().expect("runner lock");
+                    loop {
+                        if let Some(pos) = s.ready.first().copied() {
+                            s.ready.remove(0);
+                            s.running += 1;
+                            let body = s.bodies[pos].take().expect("job body claimed twice");
+                            let mut deps = BTreeMap::new();
+                            for d in &metas[pos].deps {
+                                let di = index[d];
+                                deps.insert(
+                                    d.clone(),
+                                    s.artifacts[di].clone().unwrap_or(Value::Null),
+                                );
+                            }
+                            break (pos, body, deps);
+                        }
+                        if s.running == 0 && s.done >= s.total {
+                            return;
+                        }
+                        // Jobs may be running whose completion unlocks
+                        // more work (or ends the run) — wait it out.
+                        if s.running == 0 {
+                            return;
+                        }
+                        s = cv.wait(s).expect("runner lock");
+                    }
+                };
+
+                let job = &metas[i];
+                let mut ctx = JobCtx::new(&job.name, opts.root_seed, opts.smoke, deps);
+                let t0 = Instant::now();
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)))
+                        .unwrap_or_else(|p| {
+                            let msg = p
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_owned())
+                                .or_else(|| p.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "panicked".to_owned());
+                            Err(format!("panic: {msg}"))
+                        });
+                let wall = t0.elapsed();
+
+                let mut s = state.lock().expect("runner lock");
+                s.walls[i] = wall;
+                s.done += 1;
+                s.running -= 1;
+                match result {
+                    Ok(artifact) => {
+                        progress(&format!(
+                            "[{}/{}] {}: ok ({:.1} ms)",
+                            s.done,
+                            total,
+                            job.name,
+                            wall.as_secs_f64() * 1e3
+                        ));
+                        s.artifacts[i] = Some(artifact);
+                        s.outcomes[i] = Some(Outcome::Ok);
+                        for d in sched_dependents(&s, i) {
+                            s.indegree[d] -= 1;
+                            if s.indegree[d] == 0 && s.outcomes[d].is_none() {
+                                let pos = s.ready.binary_search(&d).unwrap_err();
+                                s.ready.insert(pos, d);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        progress(&format!("[{}/{}] {}: FAILED: {e}", s.done, total, job.name));
+                        s.outcomes[i] = Some(Outcome::Failed(e));
+                        // Cascade: dependents (and theirs) are skipped.
+                        let mut stack = sched_dependents(&s, i);
+                        while let Some(d) = stack.pop() {
+                            if s.outcomes[d].is_none() {
+                                s.done += 1;
+                                s.outcomes[d] = Some(Outcome::Skipped);
+                                stack.extend(sched_dependents(&s, d));
+                            }
+                        }
+                    }
+                }
+                s.ctxs[i] = Some(ctx);
+                cv.notify_all();
+            });
+        }
+    });
+
+    let mut sched = state.into_inner().expect("runner lock");
+    let mut reports = Vec::new();
+    let mut stdout = String::new();
+    let mut files = Vec::new();
+    let mut metrics = Metrics::new();
+    let mut group_out: Vec<(String, String)> = Vec::new();
+    for (i, j) in metas.iter().enumerate() {
+        if !include[i] {
+            continue;
+        }
+        let outcome = sched.outcomes[i].clone().unwrap_or(Outcome::Skipped);
+        reports.push(JobReport {
+            name: j.name.clone(),
+            group: j.group.clone(),
+            outcome,
+            wall: sched.walls[i],
+        });
+        if let Some(ctx) = sched.ctxs[i].take() {
+            stdout.push_str(&ctx.out);
+            match group_out.iter_mut().find(|(g, _)| g == &j.group) {
+                Some((_, acc)) => acc.push_str(&ctx.out),
+                None => group_out.push((j.group.clone(), ctx.out.clone())),
+            }
+            files.extend(ctx.files);
+            metrics.merge(&ctx.metrics.snapshot());
+        }
+    }
+    // Console captures: one results/<group>.txt per group that printed.
+    for (group, text) in group_out {
+        if !text.is_empty() {
+            files.push((format!("{group}.txt"), text.into_bytes()));
+        }
+    }
+    RunOutput {
+        reports,
+        stdout,
+        files,
+        metrics,
+        wall: started.elapsed(),
+    }
+}
+
+fn sched_dependents(s: &Sched, i: usize) -> Vec<usize> {
+    s.dependents[i].clone()
+}
+
+/// Writes staged files under `dir`, announcing each through
+/// [`progress`].
+pub fn write_outputs(out: &RunOutput, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (file, bytes) in &out.files {
+        let path = dir.join(file);
+        std::fs::write(&path, bytes)?;
+        progress(&format!("wrote {}", path.display()));
+    }
+    Ok(())
+}
+
+/// Byte-compares staged files against what `dir` already holds, without
+/// writing. Returns one description per divergence — the CI
+/// stale-results guard fails when this is non-empty.
+pub fn check_outputs(out: &RunOutput, dir: &Path) -> Vec<String> {
+    let mut diverged = Vec::new();
+    for (file, bytes) in &out.files {
+        let path = dir.join(file);
+        match std::fs::read(&path) {
+            Ok(existing) if &existing == bytes => {}
+            Ok(existing) => diverged.push(format!(
+                "{} diverges from the committed capture ({} bytes regenerated vs {} committed)",
+                path.display(),
+                bytes.len(),
+                existing.len()
+            )),
+            Err(_) => diverged.push(format!(
+                "{} is missing from the committed captures",
+                path.display()
+            )),
+        }
+    }
+    diverged
+}
+
+/// Prints the wall-clock + per-figure cost summary to stderr.
+pub fn print_summary(out: &RunOutput) {
+    let mut groups: Vec<(String, Duration, usize, bool)> = Vec::new();
+    for r in &out.reports {
+        match groups.iter_mut().find(|(g, ..)| g == &r.group) {
+            Some((_, wall, jobs, ok)) => {
+                *wall += r.wall;
+                *jobs += 1;
+                *ok &= r.outcome == Outcome::Ok;
+            }
+            None => groups.push((r.group.clone(), r.wall, 1, r.outcome == Outcome::Ok)),
+        }
+    }
+    progress("");
+    progress("figure        jobs      cost");
+    progress("----------------------------");
+    let mut busy = Duration::ZERO;
+    for (group, wall, jobs, ok) in &groups {
+        busy += *wall;
+        progress(&format!(
+            "{:<12} {:>5} {:>7.2} s{}",
+            group,
+            jobs,
+            wall.as_secs_f64(),
+            if *ok { "" } else { "  [FAILED]" }
+        ));
+    }
+    progress("----------------------------");
+    progress(&format!(
+        "wall {:.2} s, aggregate job cost {:.2} s ({:.2}x concurrency), {} files, {} msr writes traced",
+        out.wall.as_secs_f64(),
+        busy.as_secs_f64(),
+        busy.as_secs_f64() / out.wall.as_secs_f64().max(1e-9),
+        out.metrics.counter("runner.files_staged"),
+        out.metrics.counter("daemon.msr_writes"),
+    ));
+}
