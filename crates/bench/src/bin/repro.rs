@@ -6,7 +6,9 @@
 //! and byte-compares it against the committed captures, which is the CI
 //! stale-results guard.
 
-use iat_runner::{check_outputs, parse_args, print_summary, progress, run, write_outputs, USAGE};
+use iat_runner::{
+    bench_report, check_outputs, parse_args, print_summary, progress, run, write_outputs, USAGE,
+};
 use std::path::Path;
 
 fn main() {
@@ -62,6 +64,25 @@ fn main() {
     }
 
     print_summary(&out);
+
+    // The wall-clock bench report. Written on every run — including
+    // `--check` and `--smoke` — but never staged through the job files,
+    // so it is exempt from the byte-compare above (timings vary run to
+    // run; the schema is what CI validates).
+    let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+    let report = bench_report(&out, &cli.opts, profile);
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    let bench_path = dir.join("BENCH_repro.json");
+    match std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&bench_path, format!("{json}\n")))
+    {
+        Ok(()) => progress(&format!("wrote {}", bench_path.display())),
+        Err(e) => {
+            progress(&format!("error: writing {}: {e}", bench_path.display()));
+            exit = 1;
+        }
+    }
+
     for r in &out.reports {
         if let iat_runner::Outcome::Failed(e) = &r.outcome {
             progress(&format!("error: {}: {e}", r.name));

@@ -8,7 +8,8 @@
 //! One leaf job per ablated variant.
 
 use super::merge_rows;
-use crate::report::{f, FigureReport};
+use crate::harness::take_sim_accesses;
+use crate::report::{f, record_accesses, FigureReport};
 use crate::scenarios::{self, PolicyKind};
 use iat::{IatConfig, IatDaemon, IatFlags};
 use iat_runner::{JobSpec, Registry};
@@ -152,6 +153,7 @@ pub(crate) fn register(reg: &mut Registry) {
             move |ctx| {
                 let (intervals, mops) =
                     reaction(case.flags, case.threshold_stable, ctx.seed("scenario"));
+                record_accesses(ctx, take_sim_accesses());
                 Ok(super::rows_artifact(vec![(
                     vec![case.name.into(), intervals.to_string(), f(mops, 1)],
                     serde_json::json!({

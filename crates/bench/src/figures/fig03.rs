@@ -8,7 +8,8 @@
 //! especially with bursty traffic". One leaf job per packet size.
 
 use super::{merge_rows, rows_artifact};
-use crate::report::{pct, FigureReport};
+use crate::harness::take_sim_accesses;
+use crate::report::{pct, record_accesses, FigureReport};
 use crate::scenarios::{self, LINE_RATE_40G};
 use iat_netsim::{rfc2544_search, FlowDist, Rfc2544Config, TrafficGen, TrafficPattern};
 use iat_platform::TenantId;
@@ -82,7 +83,9 @@ pub(crate) fn register(reg: &mut Registry) {
         .collect();
     for &pkt in &[64u32, 1500] {
         reg.add(JobSpec::new(format!("fig03/{pkt}B"), "fig03", move |ctx| {
-            Ok(rows_artifact(sweep(pkt, ctx.seed("scenario"))))
+            let rows = sweep(pkt, ctx.seed("scenario"));
+            record_accesses(ctx, take_sim_accesses());
+            Ok(rows_artifact(rows))
         }));
     }
     reg.add(

@@ -6,7 +6,8 @@
 //! latency with DDIO overlap, even though no *core* shares those ways.
 //! One leaf job per working-set size.
 
-use crate::report::{f, pct, FigureReport};
+use crate::harness::take_sim_accesses;
+use crate::report::{f, pct, record_accesses, FigureReport};
 use crate::scenarios;
 use iat_runner::{JobSpec, Registry};
 use serde_json::{json, Value};
@@ -68,6 +69,7 @@ pub(crate) fn register(reg: &mut Registry) {
             "fig04",
             move |ctx| {
                 let (rows, record) = contend(ws, ctx.seed("scenario"));
+                record_accesses(ctx, take_sim_accesses());
                 Ok(json!({ "rows": rows, "record": record }))
             },
         ));

@@ -8,7 +8,8 @@
 //! per packet size.
 
 use super::{merge_rows, rows_artifact};
-use crate::report::{f, FigureReport};
+use crate::harness::take_sim_accesses;
+use crate::report::{f, record_accesses, FigureReport};
 use crate::scenarios::{self, PolicyKind};
 use iat_runner::{JobSpec, Registry};
 use serde_json::Value;
@@ -75,7 +76,11 @@ pub(crate) fn register(reg: &mut Registry) {
         reg.add(JobSpec::new(
             format!("fig08/{size}B"),
             "fig08",
-            move |ctx| Ok(rows_artifact(sweep(size, ctx.seed("scenario")))),
+            move |ctx| {
+                let rows = sweep(size, ctx.seed("scenario"));
+                record_accesses(ctx, take_sim_accesses());
+                Ok(rows_artifact(rows))
+            },
         ));
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();

@@ -5,7 +5,8 @@
 //! leaf job per flow count.
 
 use super::{merge_rows, rows_artifact};
-use crate::report::{f, FigureReport};
+use crate::harness::take_sim_accesses;
+use crate::report::{f, record_accesses, FigureReport};
 use crate::scenarios::{self, PolicyKind};
 use iat_runner::{JobSpec, Registry};
 use serde_json::Value;
@@ -68,7 +69,11 @@ pub(crate) fn register(reg: &mut Registry) {
         reg.add(JobSpec::new(
             format!("fig09/{flows}f"),
             "fig09",
-            move |ctx| Ok(rows_artifact(sweep(flows, ctx.seed("scenario")))),
+            move |ctx| {
+                let rows = sweep(flows, ctx.seed("scenario"));
+                record_accesses(ctx, take_sim_accesses());
+                Ok(rows_artifact(rows))
+            },
         ));
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();

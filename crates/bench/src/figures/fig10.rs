@@ -8,7 +8,8 @@
 //! latency in the 5–15 s and 15–25 s phases for baseline, Core-only,
 //! I/O-iso and IAT, across packet sizes. One leaf job per packet size.
 
-use crate::report::{f, Table};
+use crate::harness::take_sim_accesses;
+use crate::report::{f, record_accesses, Table};
 use crate::scenarios::{self, PolicyKind};
 use iat_cachesim::WayMask;
 use iat_runner::{JobSpec, Registry};
@@ -92,7 +93,9 @@ pub(crate) fn register(reg: &mut Registry) {
     let leaves: Vec<String> = SIZES.iter().map(|s| format!("fig10/{s}B")).collect();
     for &pkt in &SIZES {
         reg.add(JobSpec::new(format!("fig10/{pkt}B"), "fig10", move |ctx| {
-            Ok(sweep(pkt, ctx.seed("scenario")))
+            let cases = sweep(pkt, ctx.seed("scenario"));
+            record_accesses(ctx, take_sim_accesses());
+            Ok(cases)
         }));
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();

@@ -9,7 +9,8 @@
 //! `results/fig11.metrics.json`. A single job — the timeline is one
 //! continuous 20 s run and cannot be sliced.
 
-use crate::report::{save_metrics, save_trace};
+use crate::harness::take_sim_accesses;
+use crate::report::{record_accesses, save_metrics, save_trace};
 use crate::scenarios::{self, PolicyKind};
 use iat_cachesim::WayMask;
 use iat_platform::Recorder;
@@ -120,6 +121,8 @@ fn timeline(ctx: &mut JobCtx) -> Result<Value, String> {
     // the run-level metrics (and repro's cost line) see the msr writes.
     ctx.metrics.merge(&summary);
     save_metrics(ctx, "fig11", &summary);
+    drop(m);
+    record_accesses(ctx, take_sim_accesses());
     Ok(Value::Null)
 }
 

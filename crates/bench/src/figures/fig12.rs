@@ -6,7 +6,8 @@
 //! One leaf job per PC application.
 
 use super::{merge_rows, rows_artifact};
-use crate::report::{f, FigureReport};
+use crate::harness::take_sim_accesses;
+use crate::report::{f, record_accesses, FigureReport};
 use crate::scenarios::{self, NetApp, PcApp, PolicyKind};
 use iat_runner::{JobSpec, Registry};
 use iat_workloads::{SpecProfile, YcsbMix};
@@ -88,7 +89,11 @@ pub(crate) fn register(reg: &mut Registry) {
         reg.add(JobSpec::new(
             format!("fig12/{pc_name}"),
             "fig12",
-            move |ctx| Ok(rows_artifact(sweep(&pc_name, pc, ctx.seed("scenario")))),
+            move |ctx| {
+                let rows = sweep(&pc_name, pc, ctx.seed("scenario"));
+                record_accesses(ctx, take_sim_accesses());
+                Ok(rows_artifact(rows))
+            },
         ));
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();

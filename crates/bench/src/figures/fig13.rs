@@ -3,7 +3,8 @@
 //! (min–max over shuffled layouts) vs IAT. One leaf job per YCSB mix.
 
 use super::{merge_rows, rows_artifact};
-use crate::report::{f, FigureReport};
+use crate::harness::take_sim_accesses;
+use crate::report::{f, record_accesses, FigureReport};
 use crate::scenarios::{self, NetApp, PcApp, PolicyKind};
 use iat_runner::{JobSpec, Registry};
 use iat_workloads::YcsbMix;
@@ -65,7 +66,11 @@ pub(crate) fn register(reg: &mut Registry) {
         reg.add(JobSpec::new(
             format!("fig13/{}", mix.name),
             "fig13",
-            move |ctx| Ok(rows_artifact(sweep(mix, ctx.seed("scenario")))),
+            move |ctx| {
+                let rows = sweep(mix, ctx.seed("scenario"));
+                record_accesses(ctx, take_sim_accesses());
+                Ok(rows_artifact(rows))
+            },
         ));
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();

@@ -6,6 +6,8 @@ use iat_perf::{DdioSampleMode, IntervalDeltas, Monitor, Poll};
 use iat_platform::Platform;
 use iat_telemetry::{Recorder, Stamp};
 
+pub use iat_platform::take_sim_accesses;
+
 /// A platform under management by an LLC policy.
 ///
 /// Each [`Managed::step_interval`] runs the platform for one policy
@@ -105,6 +107,13 @@ impl Managed {
     /// Intervals executed so far.
     pub fn intervals(&self) -> u64 {
         self.intervals
+    }
+
+    /// Total cache operations the platform has simulated (see
+    /// [`iat_cachesim::MemoryHierarchy::accesses`]) — read this at the
+    /// end of a job and report it via `report::record_accesses`.
+    pub fn accesses(&self) -> u64 {
+        self.platform.hierarchy().accesses()
     }
 
     /// Takes a fresh cumulative poll without advancing the platform or the

@@ -43,6 +43,20 @@ impl AgentId {
     pub fn is_io(self) -> bool {
         self == Self::IO
     }
+
+    /// Raw representation for packed per-line owner storage (`u16::MAX`
+    /// encodes [`AgentId::IO`]).
+    #[inline]
+    pub(crate) fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Rebuilds an id from [`AgentId::to_bits`] storage. Unlike
+    /// [`AgentId::new`] this accepts the reserved I/O encoding.
+    #[inline]
+    pub(crate) fn from_bits(bits: u16) -> AgentId {
+        AgentId(bits)
+    }
 }
 
 impl fmt::Display for AgentId {

@@ -115,6 +115,14 @@ impl MemoryHierarchy {
         self.llc.mem()
     }
 
+    /// Total cache operations simulated across the hierarchy: every L2
+    /// access plus every LLC operation (demand fills after L2 misses,
+    /// writebacks, and DDIO traffic). Monotonic — the numerator for
+    /// simulated-accesses-per-second throughput reporting.
+    pub fn accesses(&self) -> u64 {
+        self.llc.accesses() + self.cores.iter().map(|c| c.l2.accesses()).sum::<u64>()
+    }
+
     /// The latency model.
     pub fn latency(&self) -> &LatencyModel {
         &self.latency
@@ -127,6 +135,7 @@ impl MemoryHierarchy {
     ///
     /// Panics if `core` is out of range; panics in debug builds if
     /// `alloc_mask` is empty.
+    #[inline]
     pub fn core_access(
         &mut self,
         core: usize,
@@ -163,6 +172,7 @@ impl MemoryHierarchy {
     }
 
     /// Inbound DDIO write of one line; stale private copies are invalidated.
+    #[inline]
     pub fn io_write(&mut self, ddio_mask: WayMask, addr: u64) -> IoOutcome {
         for c in &mut self.cores {
             c.l2.invalidate(addr);
@@ -175,6 +185,7 @@ impl MemoryHierarchy {
     /// If a private cache holds the line dirty the coherence protocol would
     /// source the data from there; the LLC outcome is still what the CHA
     /// counters observe, so we keep the LLC path authoritative.
+    #[inline]
     pub fn io_read(&mut self, addr: u64) -> IoOutcome {
         self.llc.io_read(addr)
     }

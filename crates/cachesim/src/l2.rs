@@ -1,19 +1,12 @@
 //! Private per-core L2 cache.
+//!
+//! Storage uses the same struct-of-arrays layout as the LLC (see
+//! `llc.rs`): contiguous per-line tags, per-set valid/dirty bitmasks,
+//! and a compact per-set LRU rank (`u8`, 0 = MRU, a permutation of
+//! `0..ways` per set) instead of a global `u64` tick plus full-set scan.
 
 use crate::geometry::CacheGeometry;
 use crate::line_of;
-
-#[derive(Debug, Clone, Copy)]
-struct L2Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
-}
-
-impl L2Line {
-    const INVALID: L2Line = L2Line { tag: 0, valid: false, dirty: false, lru: 0 };
-}
 
 /// Result of an L2 access-and-fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,8 +35,16 @@ pub struct L2Outcome {
 #[derive(Debug, Clone)]
 pub struct L2Cache {
     geom: CacheGeometry,
-    lines: Vec<L2Line>,
-    tick: u64,
+    /// Associativity, cached as `usize` for indexing.
+    ways: usize,
+    /// Per-line tags, set-major.
+    tags: Vec<u64>,
+    /// Per-line LRU ranks (0 = MRU); a permutation of `0..ways` per set.
+    ranks: Vec<u8>,
+    /// Per-set valid bitmasks.
+    valid: Vec<u32>,
+    /// Per-set dirty bitmasks.
+    dirty: Vec<u32>,
     hits: u64,
     misses: u64,
 }
@@ -57,10 +58,15 @@ impl L2Cache {
     /// unsliced).
     pub fn new(geom: CacheGeometry) -> Self {
         assert_eq!(geom.slices(), 1, "L2 caches are unsliced");
+        let ways = geom.ways() as usize;
+        let n = geom.total_lines() as usize;
         L2Cache {
             geom,
-            lines: vec![L2Line::INVALID; geom.total_lines() as usize],
-            tick: 0,
+            ways,
+            tags: vec![0; n],
+            ranks: (0..n).map(|i| (i % ways) as u8).collect(),
+            valid: vec![0; n / ways],
+            dirty: vec![0; n / ways],
             hits: 0,
             misses: 0,
         }
@@ -81,48 +87,84 @@ impl L2Cache {
         self.misses
     }
 
+    /// Total accesses served (hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
     #[inline]
-    fn base_of(&self, addr: u64) -> usize {
+    fn set_of(&self, addr: u64) -> usize {
         let (_, set) = self.geom.index(addr);
-        set as usize * self.geom.ways() as usize
+        set as usize
+    }
+
+    /// Makes `way` the most recently used line of its set (same compact
+    /// rank scheme as the LLC).
+    #[inline]
+    fn touch(&mut self, base: usize, way: usize) {
+        let r = self.ranks[base + way];
+        if r == 0 {
+            return;
+        }
+        let set_ranks = &mut self.ranks[base..base + self.ways];
+        for x in set_ranks.iter_mut() {
+            if *x < r {
+                *x += 1;
+            }
+        }
+        set_ranks[way] = 0;
     }
 
     /// Accesses `addr`; on a miss the line is filled (replacing the LRU way)
     /// and a dirty victim, if any, is reported for write-back to the LLC.
+    #[inline]
     pub fn access(&mut self, addr: u64, write: bool) -> L2Outcome {
         let tag = line_of(addr);
-        let base = self.base_of(addr);
-        let ways = self.geom.ways() as usize;
-        self.tick += 1;
-        for w in 0..ways {
-            let l = &mut self.lines[base + w];
-            if l.valid && l.tag == tag {
-                l.lru = self.tick;
+        let set = self.set_of(addr);
+        let base = set * self.ways;
+        let mut m = self.valid[set];
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
+                self.touch(base, w);
                 if write {
-                    l.dirty = true;
+                    self.dirty[set] |= 1 << w;
                 }
                 self.hits += 1;
                 return L2Outcome { hit: true, dirty_victim: None };
             }
+            m &= m - 1;
         }
         self.misses += 1;
-        // Victim: first invalid way, else LRU.
-        let mut victim = 0usize;
-        let mut best = u64::MAX;
-        for w in 0..ways {
-            let l = &self.lines[base + w];
-            if !l.valid {
-                victim = w;
-                break;
+        // Victim: lowest invalid way, else LRU (maximum rank).
+        let full = if self.ways == 32 { u32::MAX } else { (1u32 << self.ways) - 1 };
+        let invalid = full & !self.valid[set];
+        let victim = if invalid != 0 {
+            invalid.trailing_zeros() as usize
+        } else {
+            let mut best_w = 0usize;
+            let mut best_r = self.ranks[base];
+            for w in 1..self.ways {
+                let r = self.ranks[base + w];
+                if r > best_r {
+                    best_w = w;
+                    best_r = r;
+                }
             }
-            if l.lru < best {
-                best = l.lru;
-                victim = w;
-            }
+            best_w
+        };
+        let bit = 1u32 << victim;
+        let was_valid = self.valid[set] & bit != 0;
+        let dirty_victim =
+            (was_valid && self.dirty[set] & bit != 0).then(|| self.tags[base + victim]);
+        self.valid[set] |= bit;
+        if write {
+            self.dirty[set] |= bit;
+        } else {
+            self.dirty[set] &= !bit;
         }
-        let old = self.lines[base + victim];
-        let dirty_victim = (old.valid && old.dirty).then_some(old.tag);
-        self.lines[base + victim] = L2Line { tag, valid: true, dirty: write, lru: self.tick };
+        self.tags[base + victim] = tag;
+        self.touch(base, victim);
         L2Outcome { hit: false, dirty_victim }
     }
 
@@ -130,22 +172,30 @@ impl L2Cache {
     /// if it was dirty (used when DDIO-written data supersedes stale copies).
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let tag = line_of(addr);
-        let base = self.base_of(addr);
-        for w in 0..self.geom.ways() as usize {
-            let l = &mut self.lines[base + w];
-            if l.valid && l.tag == tag {
-                let dirty = l.dirty;
-                *l = L2Line::INVALID;
+        let set = self.set_of(addr);
+        let base = set * self.ways;
+        let mut m = self.valid[set];
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
+                let bit = 1u32 << w;
+                let dirty = self.dirty[set] & bit != 0;
+                self.valid[set] &= !bit;
+                self.dirty[set] &= !bit;
                 return dirty;
             }
+            m &= m - 1;
         }
         false
     }
 
     /// Drops all contents and statistics.
     pub fn clear(&mut self) {
-        self.lines.fill(L2Line::INVALID);
-        self.tick = 0;
+        self.valid.fill(0);
+        self.dirty.fill(0);
+        for (i, r) in self.ranks.iter_mut().enumerate() {
+            *r = (i % self.ways) as u8;
+        }
         self.hits = 0;
         self.misses = 0;
     }
@@ -166,6 +216,7 @@ mod tests {
         assert!(l2.access(0x100, false).hit);
         assert_eq!(l2.hits(), 1);
         assert_eq!(l2.misses(), 1);
+        assert_eq!(l2.accesses(), 2);
     }
 
     #[test]
@@ -212,6 +263,17 @@ mod tests {
         assert!(l2.invalidate(0x200));
         assert!(!l2.access(0x200, false).hit, "invalidated line must miss");
         assert!(!l2.invalidate(0x999), "absent line");
+    }
+
+    #[test]
+    fn clear_resets_contents_and_counters() {
+        let mut l2 = tiny_l2();
+        l2.access(0x200, true);
+        l2.access(0x200, false);
+        l2.clear();
+        assert_eq!(l2.hits(), 0);
+        assert_eq!(l2.misses(), 0);
+        assert!(!l2.access(0x200, false).hit, "cleared line must miss");
     }
 
     #[test]

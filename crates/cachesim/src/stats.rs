@@ -4,7 +4,6 @@
 //! counters; `iat-perf` layers counter/MSR semantics on top of them.
 
 use crate::agent::AgentId;
-use std::collections::HashMap;
 
 /// Outcome of a core-initiated LLC access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,10 +99,16 @@ pub struct SliceIoStats {
 }
 
 /// Cumulative whole-LLC statistics.
+///
+/// Per-agent counts live in a small first-touch-ordered vector rather
+/// than a `HashMap`: the agent lookup sits on the per-access hot path of
+/// the simulator, a handful of tenants plus [`AgentId::IO`] is the
+/// universe, and a linear scan of a few packed entries beats hashing
+/// every access — while also making iteration order deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct LlcStats {
-    /// Per-agent reference/miss/occupancy counts.
-    pub agents: HashMap<AgentId, AgentStats>,
+    /// Per-agent reference/miss/occupancy counts, in first-touch order.
+    agents: Vec<(AgentId, AgentStats)>,
     /// Per-slice DDIO counts (indexed by slice id).
     pub slices: Vec<SliceIoStats>,
     /// Total lines evicted (capacity victims), any agent.
@@ -112,12 +117,22 @@ pub struct LlcStats {
 
 impl LlcStats {
     pub(crate) fn new(slices: usize) -> Self {
-        LlcStats { agents: HashMap::new(), slices: vec![SliceIoStats::default(); slices], evictions: 0 }
+        LlcStats { agents: Vec::new(), slices: vec![SliceIoStats::default(); slices], evictions: 0 }
     }
 
     /// Statistics for one agent (zeroes if the agent never accessed the LLC).
     pub fn agent(&self, id: AgentId) -> AgentStats {
-        self.agents.get(&id).copied().unwrap_or_default()
+        self.agents
+            .iter()
+            .find(|(a, _)| *a == id)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// Every agent that has touched the LLC, with its statistics, in
+    /// first-touch order (deterministic for a deterministic op stream).
+    pub fn agents(&self) -> impl Iterator<Item = (AgentId, &AgentStats)> {
+        self.agents.iter().map(|(a, s)| (*a, s))
     }
 
     /// Total DDIO hits across all slices.
@@ -130,8 +145,15 @@ impl LlcStats {
         self.slices.iter().map(|s| s.ddio_misses).sum()
     }
 
+    #[inline]
     pub(crate) fn agent_mut(&mut self, id: AgentId) -> &mut AgentStats {
-        self.agents.entry(id).or_default()
+        match self.agents.iter().position(|(a, _)| *a == id) {
+            Some(i) => &mut self.agents[i].1,
+            None => {
+                self.agents.push((id, AgentStats::default()));
+                &mut self.agents.last_mut().expect("just pushed").1
+            }
+        }
     }
 }
 

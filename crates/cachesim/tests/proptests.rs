@@ -1,12 +1,178 @@
-//! Property-based tests for the cache model's structural invariants.
+//! Property-based tests for the cache model's structural invariants,
+//! including lock-step equivalence of the SoA/compact-LRU production
+//! implementation against a naive tick-based reference model.
 
-use iat_cachesim::{AgentId, CacheGeometry, CoreOp, Llc, WayMask};
+use iat_cachesim::{
+    AccessOutcome, AgentId, CacheGeometry, CoreOp, IoOutcome, Llc, WayMask,
+};
 use proptest::prelude::*;
+
+/// A naive array-of-structs, global-`u64`-tick LRU model of the LLC —
+/// the storage layout the production [`Llc`] used before its SoA
+/// rewrite, kept here as the behavioral oracle. It tracks residency,
+/// ownership, dirtiness, exact LRU order, and the same outcome /
+/// writeback / eviction accounting, with none of the bitmask or
+/// rank-compaction tricks.
+mod reference {
+    use super::*;
+
+    #[derive(Clone, Copy)]
+    struct Line {
+        tag: u64,
+        valid: bool,
+        dirty: bool,
+        owner: AgentId,
+        lru: u64,
+    }
+
+    pub struct RefLlc {
+        geom: CacheGeometry,
+        lines: Vec<Line>,
+        tick: u64,
+        pub evictions: u64,
+        pub mem_reads: u64,
+        pub mem_writes: u64,
+    }
+
+    impl RefLlc {
+        pub fn new(geom: CacheGeometry) -> Self {
+            let invalid =
+                Line { tag: 0, valid: false, dirty: false, owner: AgentId::IO, lru: 0 };
+            RefLlc {
+                geom,
+                lines: vec![invalid; geom.total_lines() as usize],
+                tick: 0,
+                evictions: 0,
+                mem_reads: 0,
+                mem_writes: 0,
+            }
+        }
+
+        fn base(&self, addr: u64) -> usize {
+            let (slice, set) = self.geom.index(addr);
+            (slice as usize * self.geom.sets_per_slice() as usize + set as usize)
+                * self.geom.ways() as usize
+        }
+
+        fn probe(&self, addr: u64) -> Option<usize> {
+            let tag = iat_cachesim::line_of(addr);
+            let base = self.base(addr);
+            (0..self.geom.ways() as usize)
+                .find(|&w| self.lines[base + w].valid && self.lines[base + w].tag == tag)
+                .map(|w| base + w)
+        }
+
+        pub fn contains(&self, addr: u64) -> bool {
+            self.probe(addr).is_some()
+        }
+
+        pub fn owner_of(&self, addr: u64) -> Option<AgentId> {
+            self.probe(addr).map(|i| self.lines[i].owner)
+        }
+
+        pub fn valid_lines(&self) -> u64 {
+            self.lines.iter().filter(|l| l.valid).count() as u64
+        }
+
+        fn victim_way(&self, base: usize, mask: WayMask) -> usize {
+            let mut best: Option<(usize, u64)> = None;
+            for w in mask.iter() {
+                let l = &self.lines[base + w as usize];
+                if !l.valid {
+                    return w as usize;
+                }
+                match best {
+                    None => best = Some((w as usize, l.lru)),
+                    Some((_, lru)) if l.lru < lru => best = Some((w as usize, l.lru)),
+                    _ => {}
+                }
+            }
+            best.expect("non-empty mask").0
+        }
+
+        /// Returns `writeback` like the production install path.
+        fn install(&mut self, base: usize, way: usize, tag: u64, owner: AgentId, dirty: bool) -> bool {
+            self.tick += 1;
+            let victim = self.lines[base + way];
+            let mut writeback = false;
+            if victim.valid {
+                self.evictions += 1;
+                if victim.dirty {
+                    self.mem_writes += 1;
+                    writeback = true;
+                }
+            }
+            self.lines[base + way] = Line { tag, valid: true, dirty, owner, lru: self.tick };
+            writeback
+        }
+
+        pub fn core_access(
+            &mut self,
+            agent: AgentId,
+            mask: WayMask,
+            addr: u64,
+            op: CoreOp,
+        ) -> AccessOutcome {
+            if let Some(i) = self.probe(addr) {
+                self.tick += 1;
+                self.lines[i].lru = self.tick;
+                if op == CoreOp::Write {
+                    self.lines[i].dirty = true;
+                }
+                return AccessOutcome::Hit;
+            }
+            self.mem_reads += 1;
+            let base = self.base(addr);
+            let way = self.victim_way(base, mask);
+            let writeback =
+                self.install(base, way, iat_cachesim::line_of(addr), agent, op == CoreOp::Write);
+            AccessOutcome::Miss { writeback }
+        }
+
+        pub fn io_write(&mut self, ddio_mask: WayMask, addr: u64) -> IoOutcome {
+            if let Some(i) = self.probe(addr) {
+                self.tick += 1;
+                self.lines[i].lru = self.tick;
+                self.lines[i].dirty = true;
+                return IoOutcome::WriteUpdate;
+            }
+            let base = self.base(addr);
+            let way = self.victim_way(base, ddio_mask);
+            let writeback =
+                self.install(base, way, iat_cachesim::line_of(addr), AgentId::IO, true);
+            IoOutcome::WriteAllocate { writeback }
+        }
+
+        pub fn io_read(&mut self, addr: u64) -> IoOutcome {
+            if let Some(i) = self.probe(addr) {
+                self.tick += 1;
+                self.lines[i].lru = self.tick;
+                IoOutcome::ReadHit
+            } else {
+                self.mem_reads += 1;
+                IoOutcome::ReadMiss
+            }
+        }
+
+        pub fn core_writeback(&mut self, agent: AgentId, mask: WayMask, addr: u64) {
+            if let Some(i) = self.probe(addr) {
+                self.tick += 1;
+                self.lines[i].lru = self.tick;
+                self.lines[i].dirty = true;
+                return;
+            }
+            let base = self.base(addr);
+            let way = self.victim_way(base, mask);
+            self.install(base, way, iat_cachesim::line_of(addr), agent, true);
+        }
+    }
+}
 
 /// An arbitrary operation against the LLC.
 #[derive(Debug, Clone)]
 enum Op {
     Core { agent: u16, mask_first: u8, mask_count: u8, addr: u64, write: bool },
+    Writeback { agent: u16, mask_first: u8, mask_count: u8, addr: u64 },
     IoWrite { addr: u64 },
     IoRead { addr: u64 },
 }
@@ -18,9 +184,25 @@ fn op_strategy(ways: u8) -> impl Strategy<Value = Op> {
                 Op::Core { agent, mask_first: first, mask_count: count, addr, write }
             }
         ),
+        (0u16..4, 0..ways, 1..=ways, 0u64..1 << 20).prop_map(
+            |(agent, first, count, addr)| {
+                Op::Writeback { agent, mask_first: first, mask_count: count, addr }
+            }
+        ),
         (0u64..1 << 20).prop_map(|addr| Op::IoWrite { addr }),
         (0u64..1 << 20).prop_map(|addr| Op::IoRead { addr }),
     ]
+}
+
+/// Clamps a generated `(first, count)` pair into a valid mask, or `None`
+/// when the pair degenerates to an empty mask.
+fn clamp_mask(ways: u8, first: u8, count: u8) -> Option<WayMask> {
+    let count = count.min(ways - first);
+    if count == 0 {
+        None
+    } else {
+        Some(WayMask::contiguous(first, count).expect("clamped mask is valid"))
+    }
 }
 
 proptest! {
@@ -36,17 +218,23 @@ proptest! {
         for op in &ops {
             match *op {
                 Op::Core { agent, mask_first, mask_count, addr, write } => {
-                    let count = mask_count.min(geom.ways() - mask_first);
-                    if count == 0 { continue; }
-                    let mask = WayMask::contiguous(mask_first, count).unwrap();
+                    let Some(mask) = clamp_mask(geom.ways(), mask_first, mask_count) else {
+                        continue;
+                    };
                     let op = if write { CoreOp::Write } else { CoreOp::Read };
                     llc.core_access(AgentId::new(agent), mask, addr, op);
+                }
+                Op::Writeback { agent, mask_first, mask_count, addr } => {
+                    let Some(mask) = clamp_mask(geom.ways(), mask_first, mask_count) else {
+                        continue;
+                    };
+                    llc.core_writeback(AgentId::new(agent), mask, addr);
                 }
                 Op::IoWrite { addr } => { llc.io_write(ddio, addr); }
                 Op::IoRead { addr } => { llc.io_read(addr); }
             }
         }
-        let sum: u64 = llc.stats().agents.values().map(|a| a.occupancy_lines).sum();
+        let sum: u64 = llc.stats().agents().map(|(_, a)| a.occupancy_lines).sum();
         prop_assert_eq!(sum, llc.valid_lines());
         prop_assert!(llc.valid_lines() <= geom.total_lines());
     }
@@ -77,6 +265,83 @@ proptest! {
         prop_assert!(llc.core_access(a, mask, addr, CoreOp::Read).is_hit());
     }
 
+    /// The production SoA / compact-LRU implementation and the naive
+    /// tick-based reference model stay in lock step over random
+    /// interleaved core and DDIO operations: identical per-op outcomes
+    /// (including writeback flags), identical derived statistics, and
+    /// identical final contents (residency, ownership, line counts).
+    #[test]
+    fn soa_lru_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(8), 1..400),
+    ) {
+        let geom = CacheGeometry::new(8, 16, 2).expect("valid geometry");
+        let mut llc = Llc::new(geom);
+        let mut reference = reference::RefLlc::new(geom);
+        let ddio = WayMask::contiguous(6, 2).unwrap();
+        let mut expected_refs = std::collections::BTreeMap::<AgentId, (u64, u64)>::new();
+        for op in &ops {
+            match *op {
+                Op::Core { agent, mask_first, mask_count, addr, write } => {
+                    let Some(mask) = clamp_mask(geom.ways(), mask_first, mask_count) else {
+                        continue;
+                    };
+                    let a = AgentId::new(agent);
+                    let op = if write { CoreOp::Write } else { CoreOp::Read };
+                    let got = llc.core_access(a, mask, addr, op);
+                    let want = reference.core_access(a, mask, addr, op);
+                    prop_assert_eq!(got, want);
+                    let e = expected_refs.entry(a).or_default();
+                    e.0 += 1;
+                    if got.is_miss() { e.1 += 1; }
+                }
+                Op::Writeback { agent, mask_first, mask_count, addr } => {
+                    let Some(mask) = clamp_mask(geom.ways(), mask_first, mask_count) else {
+                        continue;
+                    };
+                    let a = AgentId::new(agent);
+                    llc.core_writeback(a, mask, addr);
+                    reference.core_writeback(a, mask, addr);
+                }
+                Op::IoWrite { addr } => {
+                    let got = llc.io_write(ddio, addr);
+                    let want = reference.io_write(ddio, addr);
+                    prop_assert_eq!(got, want);
+                    let e = expected_refs.entry(AgentId::IO).or_default();
+                    e.0 += 1;
+                    if got.is_ddio_miss() { e.1 += 1; }
+                }
+                Op::IoRead { addr } => {
+                    let got = llc.io_read(addr);
+                    let want = reference.io_read(addr);
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // Derived statistics agree with the oracle and the outcome tally.
+        prop_assert_eq!(llc.stats().evictions, reference.evictions);
+        prop_assert_eq!(llc.mem().read_lines(), reference.mem_reads);
+        prop_assert_eq!(llc.mem().write_lines(), reference.mem_writes);
+        prop_assert_eq!(llc.valid_lines(), reference.valid_lines());
+        for (a, (refs, misses)) in &expected_refs {
+            let st = llc.stats().agent(*a);
+            prop_assert_eq!(st.references, *refs);
+            prop_assert_eq!(st.misses, *misses);
+        }
+        let occupancy: u64 = llc.stats().agents().map(|(_, s)| s.occupancy_lines).sum();
+        prop_assert_eq!(occupancy, reference.valid_lines());
+        // Final contents agree line by line for every touched address.
+        for op in &ops {
+            let addr = match *op {
+                Op::Core { addr, .. }
+                | Op::Writeback { addr, .. }
+                | Op::IoWrite { addr }
+                | Op::IoRead { addr } => addr,
+            };
+            prop_assert_eq!(llc.contains(addr), reference.contains(addr));
+            prop_assert_eq!(llc.owner_of(addr), reference.owner_of(addr));
+        }
+    }
+
     /// Memory counters are monotonic over any operation sequence.
     #[test]
     fn memory_counters_monotonic(ops in proptest::collection::vec(op_strategy(4), 1..100)) {
@@ -88,6 +353,9 @@ proptest! {
                 Op::Core { agent, addr, write, .. } => {
                     let op = if write { CoreOp::Write } else { CoreOp::Read };
                     llc.core_access(AgentId::new(agent), WayMask::all(4), addr, op);
+                }
+                Op::Writeback { agent, addr, .. } => {
+                    llc.core_writeback(AgentId::new(agent), WayMask::all(4), addr);
                 }
                 Op::IoWrite { addr } => { llc.io_write(ddio, addr); }
                 Op::IoRead { addr } => { llc.io_read(addr); }

@@ -33,6 +33,6 @@ mod recorder;
 mod tenant;
 
 pub use config::PlatformConfig;
-pub use platform::{EpochReport, Platform};
+pub use platform::{take_sim_accesses, EpochReport, Platform};
 pub use recorder::Recorder;
 pub use tenant::{Tenant, TenantId, TrafficBinding};

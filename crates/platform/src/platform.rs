@@ -7,7 +7,29 @@ use iat_perf::{CounterBank, MonitorSpec, TenantSpec};
 use iat_rdt::Rdt;
 use iat_telemetry::{Event, Recorder, Stamp};
 use iat_workloads::{Channels, ExecCtx, WorkloadMetrics};
+use std::cell::Cell;
 use std::collections::BTreeMap;
+
+thread_local! {
+    /// Per-thread tally of simulated cache operations, fed by
+    /// [`Platform`]'s `Drop`. The bench harness runs each job
+    /// synchronously on one worker thread, so draining this at the end
+    /// of a job body (via [`take_sim_accesses`]) attributes every
+    /// platform the job built — including ones discarded deep inside
+    /// sweep helpers — to that job, without threading a counter through
+    /// every call chain.
+    static SIM_ACCESSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Drains the calling thread's simulated-access tally (the sum of
+/// [`iat_cachesim::MemoryHierarchy::accesses`] over every [`Platform`]
+/// dropped on this thread since the last drain). A job that builds
+/// platforms should call this exactly once, at the end — leaving the
+/// tally undrained leaks the count into the next job scheduled on the
+/// same worker thread.
+pub fn take_sim_accesses() -> u64 {
+    SIM_ACCESSES.with(|c| c.replace(0))
+}
 
 /// What happened during one epoch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,6 +76,12 @@ pub struct Platform {
     /// Cumulative per-port drop counts at the last telemetry sweep,
     /// keyed by (tenant, port index), so sweeps emit interval deltas.
     vf_drop_base: BTreeMap<(TenantId, usize), u64>,
+}
+
+impl Drop for Platform {
+    fn drop(&mut self) {
+        SIM_ACCESSES.with(|c| c.set(c.get() + self.hierarchy.accesses()));
+    }
 }
 
 impl std::fmt::Debug for Platform {

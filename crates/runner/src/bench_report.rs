@@ -1,0 +1,219 @@
+//! The wall-clock bench report (`BENCH_repro.json`): every sweep emits
+//! per-figure and total wall-clock, simulated cache accesses, and
+//! accesses-per-second so the repo accumulates a performance trajectory
+//! that later PRs can be held to.
+//!
+//! The report is *metadata about a run*, not a determinism capture: it
+//! is written on every sweep but never byte-compared by `--check` (wall
+//! clock differs machine to machine). CI instead validates its schema
+//! with [`validate`].
+
+use crate::exec::{Outcome, RunOptions, RunOutput};
+use serde_json::{json, Value};
+
+/// Schema tag stamped into every report; bump when the shape changes.
+pub const BENCH_SCHEMA: &str = "iat-bench-repro/v1";
+
+/// Builds the `BENCH_repro.json` document for one sweep execution.
+///
+/// `profile` is the build profile the sweep ran under (`"release"` or
+/// `"debug"` — callers pass a `cfg!(debug_assertions)`-derived value so
+/// debug-profile numbers are never mistaken for the perf trajectory).
+pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value {
+    let mut figures: Vec<(String, f64, usize, u64, bool)> = Vec::new();
+    for r in &out.reports {
+        let wall = r.wall.as_secs_f64();
+        match figures.iter_mut().find(|(g, ..)| g == &r.group) {
+            Some((_, w, jobs, acc, ok)) => {
+                *w += wall;
+                *jobs += 1;
+                *acc += r.accesses;
+                *ok &= r.outcome == Outcome::Ok;
+            }
+            None => figures.push((
+                r.group.clone(),
+                wall,
+                1,
+                r.accesses,
+                r.outcome == Outcome::Ok,
+            )),
+        }
+    }
+    let busy: f64 = figures.iter().map(|(_, w, ..)| w).sum();
+    let accesses: u64 = figures.iter().map(|(.., a, _)| a).sum();
+    let figures: Vec<Value> = figures
+        .into_iter()
+        .map(|(figure, wall_s, jobs, accesses, ok)| {
+            json!({
+                "figure": figure,
+                "jobs": jobs,
+                "wall_s": wall_s,
+                "accesses": accesses,
+                "accesses_per_s": accesses as f64 / wall_s.max(1e-9),
+                "ok": ok,
+            })
+        })
+        .collect();
+    json!({
+        "schema": BENCH_SCHEMA,
+        "profile": profile,
+        "smoke": opts.smoke,
+        "jobs": opts.jobs,
+        "root_seed": opts.root_seed,
+        "wall_s": out.wall.as_secs_f64(),
+        "aggregate_job_cost_s": busy,
+        "accesses": accesses,
+        "accesses_per_s": accesses as f64 / busy.max(1e-9),
+        "figures": figures,
+    })
+}
+
+/// Validates a `BENCH_repro.json` document's schema (the CI guard that
+/// keeps the perf trajectory machine-readable).
+///
+/// # Errors
+///
+/// Returns a description of the first violated constraint.
+pub fn validate(doc: &Value) -> Result<(), String> {
+    let schema = doc["schema"].as_str().ok_or("missing schema tag")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!("unknown schema {schema:?} (expected {BENCH_SCHEMA:?})"));
+    }
+    match doc["profile"].as_str() {
+        Some("release" | "debug") => {}
+        other => return Err(format!("bad profile {other:?}")),
+    }
+    if doc["smoke"].as_bool().is_none() {
+        return Err("smoke must be a boolean".into());
+    }
+    for key in ["jobs", "root_seed", "accesses"] {
+        if doc[key].as_u64().is_none() {
+            return Err(format!("{key} must be a non-negative integer"));
+        }
+    }
+    for key in ["wall_s", "aggregate_job_cost_s", "accesses_per_s"] {
+        match doc[key].as_f64() {
+            Some(v) if v.is_finite() && v >= 0.0 => {}
+            _ => return Err(format!("{key} must be a finite non-negative number")),
+        }
+    }
+    let figures = doc["figures"].as_array().ok_or("figures must be an array")?;
+    if figures.is_empty() {
+        return Err("figures must not be empty".into());
+    }
+    for f in figures {
+        if f["figure"].as_str().is_none() {
+            return Err("figure entry missing name".into());
+        }
+        for key in ["jobs", "accesses"] {
+            if f[key].as_u64().is_none() {
+                return Err(format!("figure {}: {key} must be an integer", f["figure"]));
+            }
+        }
+        for key in ["wall_s", "accesses_per_s"] {
+            match f[key].as_f64() {
+                Some(v) if v.is_finite() && v >= 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "figure {}: {key} must be a finite non-negative number",
+                        f["figure"]
+                    ))
+                }
+            }
+        }
+        if f["ok"].as_bool().is_none() {
+            return Err(format!("figure {}: ok must be a boolean", f["figure"]));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fake_output() -> RunOutput {
+        RunOutput {
+            reports: vec![
+                crate::JobReport {
+                    name: "figX/a".into(),
+                    group: "figX".into(),
+                    outcome: Outcome::Ok,
+                    wall: Duration::from_millis(250),
+                    accesses: 1000,
+                },
+                crate::JobReport {
+                    name: "figX".into(),
+                    group: "figX".into(),
+                    outcome: Outcome::Ok,
+                    wall: Duration::from_millis(50),
+                    accesses: 0,
+                },
+                crate::JobReport {
+                    name: "figY".into(),
+                    group: "figY".into(),
+                    outcome: Outcome::Failed("boom".into()),
+                    wall: Duration::from_millis(100),
+                    accesses: 77,
+                },
+            ],
+            stdout: String::new(),
+            files: Vec::new(),
+            metrics: iat_telemetry::Metrics::new(),
+            wall: Duration::from_millis(400),
+        }
+    }
+
+    #[test]
+    fn report_aggregates_per_group_and_validates() {
+        let out = fake_output();
+        let opts = RunOptions { jobs: 2, ..RunOptions::default() };
+        let doc = bench_report(&out, &opts, "release");
+        validate(&doc).expect("self-emitted report must validate");
+        assert_eq!(doc["schema"], BENCH_SCHEMA);
+        assert_eq!(doc["accesses"], 1077);
+        assert_eq!(doc["jobs"], 2);
+        let figs = doc["figures"].as_array().unwrap();
+        assert_eq!(figs.len(), 2);
+        assert_eq!(figs[0]["figure"], "figX");
+        assert_eq!(figs[0]["jobs"], 2);
+        assert_eq!(figs[0]["accesses"], 1000);
+        assert_eq!(figs[0]["ok"], true);
+        assert_eq!(figs[1]["ok"], false);
+        let wall = figs[0]["wall_s"].as_f64().unwrap();
+        assert!((wall - 0.3).abs() < 1e-9);
+    }
+
+    /// Rebuilds a valid report with one top-level field replaced.
+    fn with_field(doc: &Value, key: &str, value: Value) -> Value {
+        let obj: std::collections::BTreeMap<String, Value> = doc
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| {
+                let v = if k == key { value.clone() } else { v.clone() };
+                (k.clone(), v)
+            })
+            .collect();
+        serde_json::to_value(&obj)
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate(&serde_json::json!({})).is_err());
+        assert!(validate(&serde_json::json!({"schema": "nope"})).is_err());
+        let out = fake_output();
+        let opts = RunOptions::default();
+        let doc = bench_report(&out, &opts, "release");
+        assert!(validate(&with_field(&doc, "figures", serde_json::json!([]))).is_err());
+        assert!(validate(&with_field(&doc, "profile", serde_json::json!("bench"))).is_err());
+        assert!(validate(&with_field(&doc, "wall_s", serde_json::json!("fast"))).is_err());
+        assert!(validate(&with_field(&doc, "accesses", serde_json::json!(-1))).is_err());
+        let bad_fig = serde_json::json!([{
+            "figure": "figX", "jobs": 1, "wall_s": "fast",
+            "accesses": 0, "accesses_per_s": 0.0, "ok": true,
+        }]);
+        assert!(validate(&with_field(&doc, "figures", bad_fig)).is_err());
+    }
+}

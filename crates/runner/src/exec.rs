@@ -35,6 +35,12 @@ pub enum Outcome {
     Skipped,
 }
 
+/// Metrics-registry counter under which jobs report how many cache
+/// operations they simulated (see `iat_cachesim::MemoryHierarchy::accesses`);
+/// the runner surfaces it per job in [`JobReport::accesses`] and the
+/// sweep summary / bench report derive accesses-per-second from it.
+pub const ACCESSES_COUNTER: &str = "cachesim.accesses";
+
 /// One job's execution record.
 #[derive(Debug, Clone)]
 pub struct JobReport {
@@ -46,6 +52,8 @@ pub struct JobReport {
     pub outcome: Outcome,
     /// Wall-clock execution time (zero when skipped).
     pub wall: Duration,
+    /// Cache operations the job reported under [`ACCESSES_COUNTER`].
+    pub accesses: u64,
 }
 
 /// Everything a sweep produced, in registration order — independent of
@@ -307,6 +315,9 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
             group: j.group.clone(),
             outcome,
             wall: sched.walls[i],
+            accesses: sched.ctxs[i]
+                .as_ref()
+                .map_or(0, |ctx| ctx.metrics.counter(ACCESSES_COUNTER)),
         });
         if let Some(ctx) = sched.ctxs[i].take() {
             stdout.push_str(&ctx.out);
@@ -373,34 +384,46 @@ pub fn check_outputs(out: &RunOutput, dir: &Path) -> Vec<String> {
     diverged
 }
 
-/// Prints the wall-clock + per-figure cost summary to stderr.
+/// Prints the wall-clock + per-figure cost summary to stderr, with
+/// simulated-access throughput where jobs reported it.
 pub fn print_summary(out: &RunOutput) {
-    let mut groups: Vec<(String, Duration, usize, bool)> = Vec::new();
+    let mut groups: Vec<(String, Duration, usize, u64, bool)> = Vec::new();
     for r in &out.reports {
         match groups.iter_mut().find(|(g, ..)| g == &r.group) {
-            Some((_, wall, jobs, ok)) => {
+            Some((_, wall, jobs, acc, ok)) => {
                 *wall += r.wall;
                 *jobs += 1;
+                *acc += r.accesses;
                 *ok &= r.outcome == Outcome::Ok;
             }
-            None => groups.push((r.group.clone(), r.wall, 1, r.outcome == Outcome::Ok)),
+            None => groups.push((
+                r.group.clone(),
+                r.wall,
+                1,
+                r.accesses,
+                r.outcome == Outcome::Ok,
+            )),
         }
     }
     progress("");
-    progress("figure        jobs      cost");
-    progress("----------------------------");
+    progress("figure        jobs      cost   accesses   acc/s");
+    progress("-----------------------------------------------");
     let mut busy = Duration::ZERO;
-    for (group, wall, jobs, ok) in &groups {
+    let mut total_accesses = 0u64;
+    for (group, wall, jobs, accesses, ok) in &groups {
         busy += *wall;
+        total_accesses += *accesses;
         progress(&format!(
-            "{:<12} {:>5} {:>7.2} s{}",
+            "{:<12} {:>5} {:>7.2} s {:>8} {:>7}{}",
             group,
             jobs,
             wall.as_secs_f64(),
+            human_count(*accesses),
+            human_count((*accesses as f64 / wall.as_secs_f64().max(1e-9)) as u64),
             if *ok { "" } else { "  [FAILED]" }
         ));
     }
-    progress("----------------------------");
+    progress("-----------------------------------------------");
     progress(&format!(
         "wall {:.2} s, aggregate job cost {:.2} s ({:.2}x concurrency), {} files, {} msr writes traced",
         out.wall.as_secs_f64(),
@@ -409,4 +432,23 @@ pub fn print_summary(out: &RunOutput) {
         out.metrics.counter("runner.files_staged"),
         out.metrics.counter("daemon.msr_writes"),
     ));
+    progress(&format!(
+        "{} cache accesses simulated, {}/s of aggregate job time",
+        human_count(total_accesses),
+        human_count((total_accesses as f64 / busy.as_secs_f64().max(1e-9)) as u64),
+    ));
+}
+
+/// Formats a count with a binary-free human suffix (`12.3M`, `4.5G`).
+fn human_count(n: u64) -> String {
+    let n = n as f64;
+    if n >= 1e9 {
+        format!("{:.2}G", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.1}M", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.1}k", n / 1e3)
+    } else {
+        format!("{n:.0}")
+    }
 }

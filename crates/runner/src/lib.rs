@@ -28,15 +28,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_report;
 mod cli;
 mod exec;
 mod job;
 pub mod seed;
 
+pub use bench_report::{bench_report, validate as validate_bench_report, BENCH_SCHEMA};
 pub use cli::{default_jobs, parse_args, Cli, USAGE};
 pub use exec::{
     check_outputs, print_summary, progress, run, write_outputs, JobReport, Outcome, RunOptions,
-    RunOutput,
+    RunOutput, ACCESSES_COUNTER,
 };
 pub use job::{JobCtx, JobFn, JobSpec, Registry};
 pub use seed::derive_seed;
