@@ -9,6 +9,11 @@
 //! * `ddio_write_allocate` — the paper's inbound-DMA pattern: a device
 //!   ring buffer cycling through the 2-way DDIO mask, write-allocating
 //!   and evicting dirty lines (writebacks) at steady state.
+//! * `batched_window/{1,2}w` — the slice-parallel batch pipeline over
+//!   1024-access windows, resolved in the calling thread and with one
+//!   extra worker; informational, for comparing batching overhead and
+//!   multi-worker scaling against the serial calls above (results are
+//!   bit-identical either way).
 //!
 //! Run with `cargo bench -p iat-bench --bench llc_hotpath`; CI runs
 //! `cargo bench -p iat-bench --bench llc_hotpath -- --test` as a smoke.
@@ -70,6 +75,34 @@ fn bench_hotpath(c: &mut Criterion) {
         });
     });
 
+    group.finish();
+
+    // The batch pipeline over the same miss-heavy mix: enqueue a window,
+    // flush, read outcomes. Worker counts only move wall clock, never
+    // results, so the bench restores auto mode when it finishes.
+    const WINDOW: u64 = 1024;
+    let mut group = c.benchmark_group("llc_hotpath_batched");
+    group.throughput(Throughput::Elements(WINDOW));
+    for workers in [1u32, 2] {
+        group.bench_function(format!("batched_window/{workers}w"), |b| {
+            iat_cachesim::config::set_slice_workers(Some(workers));
+            let geom = CacheGeometry::xeon_6140_llc();
+            let mut llc = Llc::new(geom);
+            let agent = AgentId::new(0);
+            let mask = WayMask::contiguous(0, 2).expect("mask");
+            let span = geom.total_lines() * 8;
+            let mut i = 0u64;
+            b.iter(|| {
+                for _ in 0..WINDOW {
+                    i = (i + 1) % span;
+                    llc.batch_core_access(agent, mask, i * LINE, CoreOp::Read);
+                }
+                llc.batch_flush();
+                black_box(llc.accesses())
+            });
+        });
+    }
+    iat_cachesim::config::set_slice_workers(None);
     group.finish();
 }
 

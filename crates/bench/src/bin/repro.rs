@@ -7,12 +7,13 @@
 //! stale-results guard.
 
 use iat_runner::{
-    bench_report, check_outputs, parse_args, print_summary, progress, run, write_outputs, USAGE,
+    bench_report, check_outputs, expected_costs, history_record, parse_args, print_summary,
+    progress, run, validate_history, write_outputs, USAGE,
 };
 use std::path::Path;
 
 fn main() {
-    let cli = match parse_args(std::env::args().skip(1)) {
+    let mut cli = match parse_args(std::env::args().skip(1)) {
         Ok(cli) => cli,
         Err(e) => {
             if e.is_empty() {
@@ -32,17 +33,33 @@ fn main() {
         return;
     }
 
+    let dir = Path::new("results");
+    let bench_path = dir.join("BENCH_repro.json");
+
+    // Seed longest-expected-first scheduling from the previous run's
+    // per-figure costs, when a report exists. Scheduling only — output
+    // bytes are identical with or without the hint.
+    if let Ok(text) = std::fs::read_to_string(&bench_path) {
+        if let Ok(doc) = serde_json::from_str(&text) {
+            cli.opts.expected_costs = expected_costs(&doc);
+        }
+    }
+
     progress(&format!(
-        "repro: {} worker(s), seed {}{}{}",
+        "repro: {} worker(s), seed {}{}{}{}",
         cli.opts.jobs,
         cli.opts.root_seed,
+        match cli.opts.slice_workers {
+            None => String::new(),
+            Some(0) => ", serial oracle".to_owned(),
+            Some(n) => format!(", {n} slice worker(s)"),
+        },
         if cli.opts.smoke { ", smoke subset" } else { "" },
         if cli.check { ", check mode" } else { "" },
     ));
     let out = run(reg, &cli.opts);
     print!("{}", out.stdout);
 
-    let dir = Path::new("results");
     let mut exit = 0;
     if cli.check {
         let diverged = check_outputs(&out, dir);
@@ -72,7 +89,6 @@ fn main() {
     let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
     let report = bench_report(&out, &cli.opts, profile);
     let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
-    let bench_path = dir.join("BENCH_repro.json");
     match std::fs::create_dir_all(dir)
         .and_then(|()| std::fs::write(&bench_path, format!("{json}\n")))
     {
@@ -81,6 +97,22 @@ fn main() {
             progress(&format!("error: writing {}: {e}", bench_path.display()));
             exit = 1;
         }
+    }
+
+    // One compact line per run accumulates in BENCH_history.jsonl (gitignored
+    // — wall clock is machine-local) so perf work can see its own trajectory.
+    let line = history_record(&report);
+    validate_history(&line).expect("self-emitted history line validates");
+    let history_path = dir.join("BENCH_history.jsonl");
+    let line = format!("{line}\n");
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()))
+    {
+        progress(&format!("error: appending {}: {e}", history_path.display()));
+        exit = 1;
     }
 
     for r in &out.reports {

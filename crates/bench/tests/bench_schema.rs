@@ -1,5 +1,5 @@
 //! Guards the committed `results/BENCH_repro.json` wall-clock bench
-//! report: it must parse and satisfy the `iat-bench-repro/v1` schema,
+//! report: it must parse and satisfy the `iat-bench-repro/v2` schema,
 //! and its figure list must cover every job group the registry defines.
 //! (Timings themselves are machine-dependent and deliberately not
 //! byte-compared — see `iat_runner::bench_report`.)

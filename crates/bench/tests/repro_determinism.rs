@@ -14,6 +14,7 @@ fn opts(jobs: usize) -> RunOptions {
         only: vec!["fig15".to_owned(), "table2".to_owned()],
         smoke: false,
         root_seed: 0,
+        ..RunOptions::default()
     }
 }
 

@@ -1,0 +1,153 @@
+//! Process-wide knobs for the batched, slice-parallel LLC pipeline.
+//!
+//! Two independent decisions live here:
+//!
+//! * **Mode** — whether callers should use the batched pipeline at all
+//!   ([`batching_enabled`]), and with how many slice workers a flush may
+//!   resolve ([`flush_workers`]). `--slice-workers 0` selects the serial
+//!   reference oracle (no batching anywhere); an explicit `N >= 1` pins the
+//!   flush worker count; the default (*auto*) batches and sizes the worker
+//!   count from whatever the slot budget has left over — a one-worker
+//!   flush resolves inline in the calling thread, which still beats the
+//!   serial path (the tight per-bucket resolution loop amortizes dispatch
+//!   that the access-at-a-time path pays per access).
+//! * **Worker-slot budget** — a process-wide core budget shared between the
+//!   sweep runner's *inter-job* workers and the LLC's *intra-job* slice
+//!   workers so the two layers of parallelism do not oversubscribe the
+//!   machine. The runner declares the total ([`set_worker_slots`]) and
+//!   holds one slot per running job ([`acquire_slot`]/[`release_slot`]);
+//!   auto-mode flushes spend only what is left.
+//!
+//! All state is atomic and the settings only steer *scheduling*: results are
+//! bit-identical for every worker count by construction (see the shard
+//! module), so a data race on a knob could at worst change timing.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Auto mode: batching on, flush workers sized from the slot budget.
+const MODE_AUTO: u32 = u32::MAX;
+/// Serial oracle: batching off everywhere; every access resolves one at a
+/// time exactly as the pre-batching code did.
+const MODE_SERIAL: u32 = 0;
+
+static MODE: AtomicU32 = AtomicU32::new(MODE_AUTO);
+/// Total worker slots (0 = derive from `available_parallelism` on first use).
+static SLOTS_TOTAL: AtomicU32 = AtomicU32::new(0);
+/// Memoized `available_parallelism` (0 = not yet queried). Auto-mode
+/// flushes consult the budget on every flush, and the underlying
+/// `sched_getaffinity` syscall is slow enough under virtualization to
+/// dominate flush-heavy workloads if asked each time.
+static SLOTS_DERIVED: AtomicU32 = AtomicU32::new(0);
+static SLOTS_USED: AtomicU32 = AtomicU32::new(0);
+
+/// Upper bound on *extra* (beyond the caller's own) slice workers an
+/// auto-mode flush will recruit; slices are 18 at most and buckets are
+/// merged serially, so returns diminish quickly.
+const AUTO_EXTRA_CAP: u32 = 3;
+
+/// Sets the slice-worker policy for the whole process.
+///
+/// * `None` — auto (the default): batch, and size flush worker counts from
+///   the leftover slot budget.
+/// * `Some(0)` — serial reference oracle: disable batching entirely.
+/// * `Some(n)` — batch and resolve flushes with exactly `n` workers
+///   (`n = 1` resolves in the calling thread).
+pub fn set_slice_workers(workers: Option<u32>) {
+    MODE.store(workers.unwrap_or(MODE_AUTO), Ordering::Relaxed);
+}
+
+/// Returns `true` when callers should route accesses through the batched
+/// pipeline.
+///
+/// Only `--slice-workers 0` (the serial oracle) answers `false`; auto and
+/// explicit `N >= 1` both batch. A one-worker flush spawns no threads —
+/// it resolves the buckets inline — and measures faster than the serial
+/// path even so, because the per-bucket resolution loop amortizes probe
+/// dispatch that the access-at-a-time path pays per access. Both paths
+/// produce bit-identical results, so the knob only moves wall clock.
+#[inline]
+pub fn batching_enabled() -> bool {
+    MODE.load(Ordering::Relaxed) != MODE_SERIAL
+}
+
+/// Declares the process-wide worker-slot total shared by inter-job and
+/// intra-job parallelism. Zero restores the default
+/// (`available_parallelism`).
+pub fn set_worker_slots(total: u32) {
+    SLOTS_TOTAL.store(total, Ordering::Relaxed);
+}
+
+fn total_slots() -> u32 {
+    match SLOTS_TOTAL.load(Ordering::Relaxed) {
+        0 => match SLOTS_DERIVED.load(Ordering::Relaxed) {
+            0 => {
+                let n = std::thread::available_parallelism()
+                    .map(|n| n.get() as u32)
+                    .unwrap_or(1);
+                SLOTS_DERIVED.store(n, Ordering::Relaxed);
+                n
+            }
+            n => n,
+        },
+        n => n,
+    }
+}
+
+/// Claims one worker slot (the runner calls this when a job starts). Never
+/// blocks: the runner's `--jobs` choice is authoritative, the budget only
+/// informs how greedy auto-mode flushes may be.
+pub fn acquire_slot() {
+    SLOTS_USED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Returns a slot claimed with [`acquire_slot`].
+pub fn release_slot() {
+    SLOTS_USED.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Number of workers the next batch flush may use, including the calling
+/// thread. Always at least 1.
+#[inline]
+pub(crate) fn flush_workers() -> usize {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_AUTO => {
+            let total = total_slots();
+            let used = SLOTS_USED.load(Ordering::Relaxed).max(1);
+            1 + total.saturating_sub(used).min(AUTO_EXTRA_CAP) as usize
+        }
+        n => n.max(1) as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: config state is process-global, so this test restores auto mode
+    // before returning; other tests in this crate rely on the default.
+    #[test]
+    fn modes_round_trip() {
+        set_slice_workers(Some(0));
+        assert!(!batching_enabled());
+        set_slice_workers(Some(4));
+        assert!(batching_enabled());
+        assert_eq!(flush_workers(), 4);
+        set_slice_workers(Some(1));
+        assert_eq!(flush_workers(), 1);
+        set_slice_workers(None);
+        assert!(flush_workers() >= 1);
+        // Auto always batches; only the worker count adapts to the budget.
+        assert!(batching_enabled());
+    }
+
+    #[test]
+    fn slot_budget_bounds_auto_workers() {
+        set_slice_workers(None);
+        set_worker_slots(4);
+        acquire_slot();
+        let w = flush_workers();
+        assert!((1..=4).contains(&w), "auto workers {w} out of range");
+        release_slot();
+        set_worker_slots(0);
+    }
+}

@@ -51,6 +51,9 @@ pub struct MemoryHierarchy {
     llc: Llc,
     cores: Vec<CoreCache>,
     latency: LatencyModel,
+    /// Scratch for [`Self::core_access_cycles_batch`]: positions of ops
+    /// that missed L2, paired with their LLC batch handles.
+    pending: Vec<(u32, crate::llc::BatchHandle)>,
 }
 
 impl MemoryHierarchy {
@@ -62,7 +65,7 @@ impl MemoryHierarchy {
         latency: LatencyModel,
     ) -> Self {
         let cores = (0..core_count).map(|_| CoreCache { l2: L2Cache::new(l2_geom) }).collect();
-        MemoryHierarchy { llc: Llc::new(llc_geom), cores, latency }
+        MemoryHierarchy { llc: Llc::new(llc_geom), cores, latency, pending: Vec::new() }
     }
 
     /// The paper's Xeon Gold 6140 hierarchy (Table I) with `core_count`
@@ -171,6 +174,74 @@ impl MemoryHierarchy {
         self.latency.cycles(level)
     }
 
+    /// Resolves a window of core accesses through the batched LLC pipeline.
+    ///
+    /// The (cheap, per-core) L2 stage runs serially in issue order; L2
+    /// misses are enqueued into the LLC's slice buckets and resolved at a
+    /// single flush. `costs` is overwritten with the per-op cycle cost, in
+    /// op order. Equivalent to calling [`Self::core_access_cycles`] per op
+    /// — the addresses in a window must therefore not depend on earlier
+    /// ops' outcomes (callers window their streams so this holds).
+    pub fn core_access_cycles_batch(
+        &mut self,
+        core: usize,
+        agent: AgentId,
+        alloc_mask: WayMask,
+        ops: &[(u64, CoreOp)],
+        costs: &mut Vec<u32>,
+    ) {
+        costs.clear();
+        let mut pending = std::mem::take(&mut self.pending);
+        debug_assert!(pending.is_empty());
+        let l2 = &mut self.cores[core].l2;
+        for (i, &(addr, op)) in ops.iter().enumerate() {
+            let out = l2.access(addr, op == CoreOp::Write);
+            if out.hit {
+                costs.push(self.latency.l2_cycles);
+                continue;
+            }
+            if let Some(victim) = out.dirty_victim {
+                self.llc.batch_core_writeback(agent, alloc_mask, victim);
+            }
+            let h = self.llc.batch_core_access(agent, alloc_mask, addr, op);
+            pending.push((i as u32, h));
+            costs.push(0);
+        }
+        self.llc.batch_flush();
+        for &(i, h) in &pending {
+            costs[i as usize] = if self.llc.batch_hit(h) {
+                self.latency.llc_cycles
+            } else {
+                self.latency.memory_cycles
+            };
+        }
+        pending.clear();
+        self.pending = pending;
+    }
+
+    /// Enqueues an inbound DDIO write into the batched LLC pipeline; stale
+    /// private copies are invalidated immediately (invalidation does not
+    /// depend on, or alter, LLC state). Resolve with [`Self::batch_flush`].
+    #[inline]
+    pub fn batch_io_write(&mut self, ddio_mask: WayMask, addr: u64) {
+        for c in &mut self.cores {
+            c.l2.invalidate(addr);
+        }
+        self.llc.batch_io_write(ddio_mask, addr);
+    }
+
+    /// Enqueues a device read into the batched LLC pipeline.
+    #[inline]
+    pub fn batch_io_read(&mut self, addr: u64) {
+        self.llc.batch_io_read(addr);
+    }
+
+    /// Resolves all enqueued batched I/O operations.
+    #[inline]
+    pub fn batch_flush(&mut self) {
+        self.llc.batch_flush();
+    }
+
     /// Inbound DDIO write of one line; stale private copies are invalidated.
     #[inline]
     pub fn io_write(&mut self, ddio_mask: WayMask, addr: u64) -> IoOutcome {
@@ -255,6 +326,70 @@ mod tests {
         // Line 0 must be findable in the LLC and dirty there (write-back
         // hits the already-resident copy or re-installs it).
         assert!(h.llc().contains(0));
+    }
+
+    #[test]
+    fn batched_core_window_matches_serial() {
+        let mut serial = MemoryHierarchy::tiny(1);
+        let mut batched = MemoryHierarchy::tiny(1);
+        let t = AgentId::new(0);
+        let m = WayMask::all(4);
+        let addr = |i: u64| (i.wrapping_mul(0x5851_F42D)) % (1 << 13) * 64;
+        let mut costs = Vec::new();
+        for window in 0..32u64 {
+            let ops: Vec<(u64, CoreOp)> = (0..17)
+                .map(|j| {
+                    let i = window * 17 + j;
+                    let op = if i % 3 == 0 { CoreOp::Write } else { CoreOp::Read };
+                    (addr(i), op)
+                })
+                .collect();
+            let want: Vec<u32> = ops
+                .iter()
+                .map(|&(a, op)| serial.core_access_cycles(0, t, m, a, op))
+                .collect();
+            batched.core_access_cycles_batch(0, t, m, &ops, &mut costs);
+            assert_eq!(costs, want, "window {window}");
+        }
+        assert_eq!(serial.accesses(), batched.accesses());
+        assert_eq!(serial.mem(), batched.mem());
+        assert_eq!(
+            serial.llc().state_digest(),
+            batched.llc().state_digest(),
+            "LLC state must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn batched_io_matches_serial() {
+        let mut serial = MemoryHierarchy::tiny(2);
+        let mut batched = MemoryHierarchy::tiny(2);
+        let t = AgentId::new(0);
+        let m = WayMask::all(4);
+        let ddio = WayMask::contiguous(2, 2).unwrap();
+        // Seed both with some core state so invalidations matter.
+        for i in 0..64u64 {
+            serial.core_access(0, t, m, i * 64, CoreOp::Write);
+            batched.core_access(0, t, m, i * 64, CoreOp::Write);
+        }
+        for burst in 0..16u64 {
+            for j in 0..40u64 {
+                let a = (burst * 40 + j) % 96 * 64;
+                if j % 4 == 3 {
+                    serial.io_read(a);
+                    batched.batch_io_read(a);
+                } else {
+                    serial.io_write(ddio, a);
+                    batched.batch_io_write(ddio, a);
+                }
+            }
+            batched.batch_flush();
+        }
+        assert_eq!(serial.accesses(), batched.accesses());
+        assert_eq!(serial.mem(), batched.mem());
+        assert_eq!(serial.llc().state_digest(), batched.llc().state_digest());
+        assert_eq!(serial.llc().stats().ddio_hits(), batched.llc().stats().ddio_hits());
+        assert_eq!(serial.llc().stats().ddio_misses(), batched.llc().stats().ddio_misses());
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! Host-cache prefetch hints for the batched pipeline.
+//!
+//! The whole-LLC metadata arrays (several MB of tags/ranks/owners) miss the
+//! host's own caches on the simulator's hot path; batching lets us compute
+//! every operation's `(slice, set)` up front and warm the lines before they
+//! are needed. This is the only place the crate steps outside safe Rust —
+//! `_mm_prefetch` is an `unsafe fn` purely for ABI reasons: it has no
+//! observable effect besides timing and is valid for any address.
+
+/// Hints the CPU to pull `slice[idx]`'s cache line toward L1. No-op when the
+/// index is out of bounds or on non-x86_64 targets.
+#[inline(always)]
+pub(crate) fn prefetch<T>(slice: &[T], idx: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(r) = slice.get(idx) {
+        #[allow(unsafe_code)]
+        // SAFETY: `r` is a live reference; prefetching a valid address has
+        // no effect other than warming the cache.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                r as *const T as *const i8,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (slice, idx);
+    }
+}

@@ -2,11 +2,12 @@
 //!
 //! Storage uses the same struct-of-arrays layout as the LLC (see
 //! `llc.rs`): contiguous per-line tags, per-set valid/dirty bitmasks,
-//! and a compact per-set LRU rank (`u8`, 0 = MRU, a permutation of
-//! `0..ways` per set) instead of a global `u64` tick plus full-set scan.
+//! and a nibble-packed per-set LRU recency list (see [`crate::order`])
+//! instead of a global `u64` tick plus full-set scan.
 
 use crate::geometry::CacheGeometry;
 use crate::line_of;
+use crate::order;
 
 /// Result of an L2 access-and-fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,8 +40,8 @@ pub struct L2Cache {
     ways: usize,
     /// Per-line tags, set-major.
     tags: Vec<u64>,
-    /// Per-line LRU ranks (0 = MRU); a permutation of `0..ways` per set.
-    ranks: Vec<u8>,
+    /// Per-set packed LRU recency lists (see [`crate::order`]).
+    order: Vec<u64>,
     /// Per-set valid bitmasks.
     valid: Vec<u32>,
     /// Per-set dirty bitmasks.
@@ -55,16 +56,17 @@ impl L2Cache {
     /// # Panics
     ///
     /// Panics if the geometry has more than one slice (L2s are private and
-    /// unsliced).
+    /// unsliced) or more ways than the packed LRU list supports (16).
     pub fn new(geom: CacheGeometry) -> Self {
         assert_eq!(geom.slices(), 1, "L2 caches are unsliced");
         let ways = geom.ways() as usize;
+        assert!(ways <= order::MAX_WAYS, "packed LRU list supports at most 16 ways");
         let n = geom.total_lines() as usize;
         L2Cache {
             geom,
             ways,
             tags: vec![0; n],
-            ranks: (0..n).map(|i| (i % ways) as u8).collect(),
+            order: vec![order::IDENTITY; n / ways],
             valid: vec![0; n / ways],
             dirty: vec![0; n / ways],
             hits: 0,
@@ -98,21 +100,12 @@ impl L2Cache {
         set as usize
     }
 
-    /// Makes `way` the most recently used line of its set (same compact
-    /// rank scheme as the LLC).
+    /// Makes `way` the most recently used line of its set (same packed
+    /// recency-list scheme as the LLC).
     #[inline]
-    fn touch(&mut self, base: usize, way: usize) {
-        let r = self.ranks[base + way];
-        if r == 0 {
-            return;
-        }
-        let set_ranks = &mut self.ranks[base..base + self.ways];
-        for x in set_ranks.iter_mut() {
-            if *x < r {
-                *x += 1;
-            }
-        }
-        set_ranks[way] = 0;
+    fn touch(&mut self, set: usize, way: usize) {
+        let o = self.order[set];
+        self.order[set] = order::promote(o, order::pos_of(o, way), way);
     }
 
     /// Accesses `addr`; on a miss the line is filled (replacing the LRU way)
@@ -126,7 +119,7 @@ impl L2Cache {
         while m != 0 {
             let w = m.trailing_zeros() as usize;
             if self.tags[base + w] == tag {
-                self.touch(base, w);
+                self.touch(set, w);
                 if write {
                     self.dirty[set] |= 1 << w;
                 }
@@ -136,22 +129,13 @@ impl L2Cache {
             m &= m - 1;
         }
         self.misses += 1;
-        // Victim: lowest invalid way, else LRU (maximum rank).
-        let full = if self.ways == 32 { u32::MAX } else { (1u32 << self.ways) - 1 };
+        // Victim: lowest invalid way, else LRU (the oldest recency slot).
+        let full = (1u32 << self.ways) - 1;
         let invalid = full & !self.valid[set];
         let victim = if invalid != 0 {
             invalid.trailing_zeros() as usize
         } else {
-            let mut best_w = 0usize;
-            let mut best_r = self.ranks[base];
-            for w in 1..self.ways {
-                let r = self.ranks[base + w];
-                if r > best_r {
-                    best_w = w;
-                    best_r = r;
-                }
-            }
-            best_w
+            order::at(self.order[set], self.ways as u32 - 1)
         };
         let bit = 1u32 << victim;
         let was_valid = self.valid[set] & bit != 0;
@@ -164,7 +148,7 @@ impl L2Cache {
             self.dirty[set] &= !bit;
         }
         self.tags[base + victim] = tag;
-        self.touch(base, victim);
+        self.touch(set, victim);
         L2Outcome { hit: false, dirty_victim }
     }
 
@@ -193,9 +177,7 @@ impl L2Cache {
     pub fn clear(&mut self) {
         self.valid.fill(0);
         self.dirty.fill(0);
-        for (i, r) in self.ranks.iter_mut().enumerate() {
-            *r = (i % self.ways) as u8;
-        }
+        self.order.fill(order::IDENTITY);
         self.hits = 0;
         self.misses = 0;
     }

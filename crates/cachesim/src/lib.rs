@@ -19,9 +19,13 @@
 //! * a **memory interface** that counts read/write bytes so experiments can
 //!   report memory bandwidth consumption (paper Fig. 8c).
 //!
-//! The crate is deterministic and purely computational: no I/O, no clocks, no
-//! threads. Higher layers (`iat-perf`, `iat-platform`) wrap it with
-//! performance-counter semantics and time.
+//! The crate is deterministic and purely computational: no I/O, no clocks.
+//! Accesses can be issued one at a time or enqueued in *batches* that are
+//! bucketed by LLC slice and resolved together — optionally on a few worker
+//! threads ([`config`]) — with results bit-identical to serial execution
+//! (slices are independent and per-slice order is preserved). Higher layers
+//! (`iat-perf`, `iat-platform`) wrap it with performance-counter semantics
+//! and time.
 //!
 //! # Example
 //!
@@ -41,18 +45,25 @@
 //! assert!(first.is_miss() && again.is_hit());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the prefetch hint in `hint.rs` is the single
+// `#[allow(unsafe_code)]` exception (an ABI-unsafe intrinsic with no
+// observable effect besides timing).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod agent;
+pub mod config;
 mod error;
 mod geometry;
 mod hierarchy;
+mod hint;
 mod l2;
 mod latency;
 mod llc;
 mod mask;
 mod memory;
+mod order;
+mod shard;
 mod stats;
 
 pub use agent::AgentId;
@@ -61,7 +72,7 @@ pub use geometry::CacheGeometry;
 pub use hierarchy::{CoreCache, MemoryHierarchy};
 pub use l2::L2Cache;
 pub use latency::{AccessLevel, LatencyModel};
-pub use llc::{CoreOp, Llc};
+pub use llc::{BatchHandle, CoreOp, Llc};
 pub use mask::WayMask;
 pub use memory::MemCounters;
 pub use stats::{AccessOutcome, AgentStats, IoOutcome, LlcStats, SliceIoStats};

@@ -2,8 +2,8 @@
 //!
 //! # Storage layout
 //!
-//! The cache body is stored struct-of-arrays (SoA) rather than as a
-//! `Vec<Line>` of tag/valid/dirty/owner/lru records:
+//! The cache body is split into one [`SliceShard`] per slice (`shard`
+//! module), each holding its slice's struct-of-arrays state:
 //!
 //! * `tags` — one contiguous `u64` per line, probed per set;
 //! * `valid` / `dirty` — one bitmask **per set** (bit `w` = way `w`),
@@ -13,17 +13,23 @@
 //! * `ranks` — a compact per-set LRU: one `u8` recency rank per line,
 //!   `0` = most recently used. Ranks within a set always form a
 //!   permutation of `0..ways`, so exact LRU order is preserved without
-//!   the global `u64` tick + full-set scan of the old layout.
+//!   a global tick + full-set scan.
 //!
-//! This drops the per-line footprint from 24 bytes (padded
-//! array-of-structs) to 11 bytes + 8 bits of per-set masks, keeps the
-//! probe loop inside one or two cache lines per set, and makes victim
-//! selection branch-light (`mask & !valid`, then a max-rank pick).
+//! Slices are independent state machines, which enables the second mode of
+//! operation next to the classic access-at-a-time API: operations can be
+//! *enqueued* (`batch_*` methods), bucketed by slice, and resolved together
+//! at [`Llc::batch_flush`] — in the calling thread or on a few worker
+//! threads (`--slice-workers`, see the `config` module). Per-slice buckets
+//! preserve enqueue order and per-slice statistics merge deterministically,
+//! so batched results are bit-identical to serial execution regardless of
+//! the worker count.
 
 use crate::agent::AgentId;
+use crate::config;
 use crate::geometry::CacheGeometry;
 use crate::mask::WayMask;
 use crate::memory::MemCounters;
+use crate::shard::{BatchEntry, BatchKind, DirectSink, SliceShard};
 use crate::stats::{AccessOutcome, IoOutcome, LlcStats};
 use crate::line_of;
 
@@ -35,6 +41,21 @@ pub enum CoreOp {
     /// Demand store (marks the line dirty).
     Write,
 }
+
+/// Ticket for one enqueued core access; redeem with [`Llc::batch_hit`]
+/// after the flush that resolved it.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchHandle {
+    slice: u16,
+    idx: u32,
+}
+
+/// Minimum number of pending operations before a flush recruits worker
+/// threads. Below this, spawn/join overhead dwarfs the bucket work and the
+/// flush resolves in the calling thread (results are identical either way;
+/// only wall clock differs). Workload windows are tens of operations —
+/// only large DMA bursts cross this line.
+const PAR_MIN_OPS: u32 = 256;
 
 /// A shared last-level cache with CAT-style way partitioning and DDIO.
 ///
@@ -58,48 +79,40 @@ pub enum CoreOp {
 #[derive(Debug, Clone)]
 pub struct Llc {
     geom: CacheGeometry,
-    /// Associativity, cached as `usize` for indexing.
-    ways: usize,
-    /// Per-line tags, set-major: line `(set, w)` lives at `set * ways + w`.
-    tags: Vec<u64>,
-    /// Per-line owner ids (raw [`AgentId`] bits), same indexing as `tags`.
-    owners: Vec<u16>,
-    /// Per-line LRU ranks (0 = MRU); each set's ranks are a permutation
-    /// of `0..ways`.
-    ranks: Vec<u8>,
-    /// Per-set valid bitmasks (bit `w` = way `w` holds a line).
-    valid: Vec<u32>,
-    /// Per-set dirty bitmasks.
-    dirty: Vec<u32>,
-    /// Running count of valid lines (maintained by `install`, never
-    /// recomputed by scanning).
+    /// Per-slice cache bodies plus batch buckets and stat deltas.
+    shards: Vec<SliceShard>,
+    /// Running count of valid lines (maintained by install accounting,
+    /// never recomputed by scanning).
     valid_count: u64,
     /// Total operations served (core accesses, writebacks, DDIO reads and
-    /// writes) — the simulator-throughput denominator.
+    /// writes) — the simulator-throughput denominator. Batched operations
+    /// count at enqueue time.
     accesses: u64,
     stats: LlcStats,
     mem: MemCounters,
+    /// Operations enqueued since the last flush.
+    pending_ops: u32,
+    /// `true` when every queued entry has been resolved (results readable);
+    /// the next enqueue starts a fresh batch.
+    flushed: bool,
 }
 
 impl Llc {
     /// Creates an empty (all-invalid) cache with the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
         let ways = geom.ways() as usize;
-        let n = geom.total_lines() as usize;
-        let sets = n / ways;
+        let sets = geom.sets_per_slice() as usize;
+        debug_assert!(ways >= 1);
+        let shards = (0..geom.slices()).map(|_| SliceShard::new(ways, sets)).collect();
         Llc {
             geom,
-            ways,
-            tags: vec![0; n],
-            owners: vec![0; n],
-            // Initial ranks are the way index: a valid permutation per set.
-            ranks: (0..n).map(|i| (i % ways) as u8).collect(),
-            valid: vec![0; sets],
-            dirty: vec![0; sets],
+            shards,
             valid_count: 0,
             accesses: 0,
             stats: LlcStats::new(geom.slices() as usize),
             mem: MemCounters::new(),
+            pending_ops: 0,
+            flushed: true,
         }
     }
 
@@ -130,132 +143,42 @@ impl Llc {
     /// Occupancy (a property of the contents, not of past events) is
     /// recomputed from the resident lines so it stays consistent.
     pub fn reset_stats(&mut self) {
+        debug_assert_eq!(self.pending_ops, 0, "reset_stats with unflushed batch");
         self.stats = LlcStats::new(self.geom.slices() as usize);
         self.mem = MemCounters::new();
-        for set in 0..self.valid.len() {
-            let base = set * self.ways;
-            let mut m = self.valid[set];
-            while m != 0 {
-                let w = m.trailing_zeros() as usize;
-                m &= m - 1;
-                let owner = AgentId::from_bits(self.owners[base + w]);
-                self.stats.agent_mut(owner).occupancy_lines += 1;
+        // Shard-major, set-ascending: the same scan order as the pre-shard
+        // global layout (global set index was `slice * sets_per_slice +
+        // set`), so agent re-registration order is unchanged.
+        for shard in &self.shards {
+            for set in 0..shard.store.sets() {
+                let mut m = shard.store.valid_bits(set);
+                while m != 0 {
+                    let w = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let owner = AgentId::from_bits(shard.store.owner_bits(set, w));
+                    self.stats.agent_mut(owner).occupancy_lines += 1;
+                }
             }
         }
     }
 
-    /// Maps an address to its set index (global, set-major) and slice.
+    /// Maps an address to its slice and set-within-slice.
     #[inline]
-    fn set_of(&self, addr: u64) -> (usize, u16) {
+    fn locate(&self, addr: u64) -> (usize, usize) {
         let (slice, set) = self.geom.index(addr);
-        (slice as usize * self.geom.sets_per_slice() as usize + set as usize, slice)
-    }
-
-    /// Looks up `tag` among the set's valid ways. Returns the way index.
-    #[inline]
-    fn probe(&self, set: usize, base: usize, tag: u64) -> Option<usize> {
-        let mut m = self.valid[set];
-        while m != 0 {
-            let w = m.trailing_zeros() as usize;
-            if self.tags[base + w] == tag {
-                return Some(w);
-            }
-            m &= m - 1;
-        }
-        None
-    }
-
-    /// Makes `way` the most recently used line of its set: every rank
-    /// better (smaller) than its current rank ages by one, and the way's
-    /// rank becomes 0. Keeps the set's ranks a permutation of `0..ways`.
-    #[inline]
-    fn touch(&mut self, base: usize, way: usize) {
-        let r = self.ranks[base + way];
-        if r == 0 {
-            return;
-        }
-        let set_ranks = &mut self.ranks[base..base + self.ways];
-        for x in set_ranks.iter_mut() {
-            if *x < r {
-                *x += 1;
-            }
-        }
-        set_ranks[way] = 0;
+        (slice as usize, set as usize)
     }
 
     /// Returns `true` if the line containing `addr` is resident.
     pub fn contains(&self, addr: u64) -> bool {
-        let (set, _) = self.set_of(addr);
-        self.probe(set, set * self.ways, line_of(addr)).is_some()
+        let (slice, set) = self.locate(addr);
+        self.shards[slice].store.contains(set, line_of(addr))
     }
 
     /// Returns the allocating agent of the resident line containing `addr`.
     pub fn owner_of(&self, addr: u64) -> Option<AgentId> {
-        let (set, _) = self.set_of(addr);
-        let base = set * self.ways;
-        self.probe(set, base, line_of(addr))
-            .map(|w| AgentId::from_bits(self.owners[base + w]))
-    }
-
-    /// Selects the victim way within `mask` for `set`: the lowest invalid
-    /// way if one exists, otherwise the LRU (maximum-rank) way.
-    #[inline]
-    fn victim_way(&self, set: usize, base: usize, mask: WayMask) -> usize {
-        debug_assert!(!mask.is_empty(), "allocation mask must not be empty");
-        debug_assert!(mask.fits(self.geom.ways()), "mask exceeds associativity");
-        let bits = mask.bits();
-        let invalid = bits & !self.valid[set];
-        if invalid != 0 {
-            return invalid.trailing_zeros() as usize;
-        }
-        let mut m = bits;
-        let mut best_w = m.trailing_zeros() as usize;
-        let mut best_r = self.ranks[base + best_w];
-        m &= m - 1;
-        while m != 0 {
-            let w = m.trailing_zeros() as usize;
-            let r = self.ranks[base + w];
-            if r > best_r {
-                best_w = w;
-                best_r = r;
-            }
-            m &= m - 1;
-        }
-        best_w
-    }
-
-    /// Replaces the line at `(set, way)`, handling victim accounting.
-    /// Returns `true` if a dirty victim was written back to memory.
-    fn install(&mut self, set: usize, way: usize, tag: u64, owner: AgentId, dirty: bool) -> bool {
-        let base = set * self.ways;
-        let bit = 1u32 << way;
-        let mut writeback = false;
-        if self.valid[set] & bit != 0 {
-            self.stats.evictions += 1;
-            if self.dirty[set] & bit != 0 {
-                self.mem.record_write_line();
-                writeback = true;
-            }
-            let victim_owner = AgentId::from_bits(self.owners[base + way]);
-            let vstats = self.stats.agent_mut(victim_owner);
-            vstats.occupancy_lines = vstats.occupancy_lines.saturating_sub(1);
-            if victim_owner != owner {
-                vstats.evicted_by_others += 1;
-            }
-        } else {
-            self.valid[set] |= bit;
-            self.valid_count += 1;
-        }
-        self.tags[base + way] = tag;
-        self.owners[base + way] = owner.to_bits();
-        if dirty {
-            self.dirty[set] |= bit;
-        } else {
-            self.dirty[set] &= !bit;
-        }
-        self.touch(base, way);
-        self.stats.agent_mut(owner).occupancy_lines += 1;
-        writeback
+        let (slice, set) = self.locate(addr);
+        self.shards[slice].store.owner_of(set, line_of(addr)).map(AgentId::from_bits)
     }
 
     /// Performs a demand access on behalf of a core agent.
@@ -275,26 +198,31 @@ impl Llc {
         addr: u64,
         op: CoreOp,
     ) -> AccessOutcome {
+        debug_assert_eq!(self.pending_ops, 0, "serial access with unflushed batch");
+        debug_assert!(alloc_mask.fits(self.geom.ways()), "mask exceeds associativity");
         self.accesses += 1;
         let tag = line_of(addr);
-        let (set, _slice) = self.set_of(addr);
-        let base = set * self.ways;
-        if let Some(w) = self.probe(set, base, tag) {
-            self.touch(base, w);
-            if op == CoreOp::Write {
-                self.dirty[set] |= 1 << w;
-            }
-            self.stats.agent_mut(agent).references += 1;
-            return AccessOutcome::Hit;
+        let (slice, set) = self.locate(addr);
+        let mut sink = DirectSink {
+            stats: &mut self.stats,
+            mem: &mut self.mem,
+            valid_count: &mut self.valid_count,
+            slice,
+        };
+        let (hit, writeback) = self.shards[slice].store.core_access(
+            set,
+            agent.to_bits(),
+            alloc_mask.bits(),
+            tag,
+            op == CoreOp::Write,
+            0,
+            &mut sink,
+        );
+        if hit {
+            AccessOutcome::Hit
+        } else {
+            AccessOutcome::Miss { writeback }
         }
-        let st = self.stats.agent_mut(agent);
-        st.references += 1;
-        st.misses += 1;
-        // Fill from memory.
-        self.mem.record_read_line();
-        let way = self.victim_way(set, base, alloc_mask);
-        let writeback = self.install(set, way, tag, agent, op == CoreOp::Write);
-        AccessOutcome::Miss { writeback }
     }
 
     /// Installs a dirty line written back from a private cache (L2 victim).
@@ -303,17 +231,24 @@ impl Llc {
     /// not count as a demand reference or miss (hardware LLC miss events
     /// count demand traffic only, which is what IAT's monitoring observes).
     pub fn core_writeback(&mut self, agent: AgentId, alloc_mask: WayMask, addr: u64) {
+        debug_assert_eq!(self.pending_ops, 0, "serial access with unflushed batch");
         self.accesses += 1;
         let tag = line_of(addr);
-        let (set, _slice) = self.set_of(addr);
-        let base = set * self.ways;
-        if let Some(w) = self.probe(set, base, tag) {
-            self.touch(base, w);
-            self.dirty[set] |= 1 << w;
-            return;
-        }
-        let way = self.victim_way(set, base, alloc_mask);
-        self.install(set, way, tag, agent, true);
+        let (slice, set) = self.locate(addr);
+        let mut sink = DirectSink {
+            stats: &mut self.stats,
+            mem: &mut self.mem,
+            valid_count: &mut self.valid_count,
+            slice,
+        };
+        self.shards[slice].store.core_writeback(
+            set,
+            agent.to_bits(),
+            alloc_mask.bits(),
+            tag,
+            0,
+            &mut sink,
+        );
     }
 
     /// Inbound DDIO write (device-to-host DMA) of one cache line.
@@ -326,25 +261,23 @@ impl Llc {
     /// Panics in debug builds if `ddio_mask` is empty.
     #[inline]
     pub fn io_write(&mut self, ddio_mask: WayMask, addr: u64) -> IoOutcome {
+        debug_assert_eq!(self.pending_ops, 0, "serial access with unflushed batch");
         self.accesses += 1;
         let tag = line_of(addr);
-        let (set, slice) = self.set_of(addr);
-        let base = set * self.ways;
-        if let Some(w) = self.probe(set, base, tag) {
-            self.touch(base, w);
-            self.dirty[set] |= 1 << w;
-            self.stats.agent_mut(AgentId::IO).references += 1;
-            self.stats.slices[slice as usize].ddio_hits += 1;
-            return IoOutcome::WriteUpdate;
+        let (slice, set) = self.locate(addr);
+        let mut sink = DirectSink {
+            stats: &mut self.stats,
+            mem: &mut self.mem,
+            valid_count: &mut self.valid_count,
+            slice,
+        };
+        let (hit, writeback) =
+            self.shards[slice].store.io_write(set, ddio_mask.bits(), tag, 0, &mut sink);
+        if hit {
+            IoOutcome::WriteUpdate
+        } else {
+            IoOutcome::WriteAllocate { writeback }
         }
-        let st = self.stats.agent_mut(AgentId::IO);
-        st.references += 1;
-        st.misses += 1;
-        self.stats.slices[slice as usize].ddio_misses += 1;
-        let way = self.victim_way(set, base, ddio_mask);
-        // The device writes the full line; no memory fill is needed.
-        let writeback = self.install(set, way, tag, AgentId::IO, true);
-        IoOutcome::WriteAllocate { writeback }
     }
 
     /// Device read (host-to-device DMA) of one cache line.
@@ -353,14 +286,18 @@ impl Llc {
     /// allocating (DDIO reads never allocate).
     #[inline]
     pub fn io_read(&mut self, addr: u64) -> IoOutcome {
+        debug_assert_eq!(self.pending_ops, 0, "serial access with unflushed batch");
         self.accesses += 1;
-        let (set, _slice) = self.set_of(addr);
-        let base = set * self.ways;
-        if let Some(w) = self.probe(set, base, line_of(addr)) {
-            self.touch(base, w);
+        let (slice, set) = self.locate(addr);
+        let mut sink = DirectSink {
+            stats: &mut self.stats,
+            mem: &mut self.mem,
+            valid_count: &mut self.valid_count,
+            slice,
+        };
+        if self.shards[slice].store.io_read(set, line_of(addr), &mut sink) {
             IoOutcome::ReadHit
         } else {
-            self.mem.record_read_line();
             IoOutcome::ReadMiss
         }
     }
@@ -374,6 +311,198 @@ impl Llc {
     /// not a scan).
     pub fn valid_lines(&self) -> u64 {
         self.valid_count
+    }
+
+    // --- Batched pipeline -------------------------------------------------
+
+    /// Starts a fresh batch if the previous one has been flushed.
+    #[inline]
+    fn batch_reset_if_flushed(&mut self) {
+        if self.flushed {
+            for shard in &mut self.shards {
+                shard.queue.clear();
+            }
+            self.flushed = false;
+        }
+    }
+
+    #[inline]
+    fn enqueue(&mut self, addr: u64, mask: u32, agent: u16, kind: BatchKind) -> BatchHandle {
+        self.batch_reset_if_flushed();
+        self.accesses += 1;
+        let op = self.pending_ops;
+        self.pending_ops += 1;
+        let tag = line_of(addr);
+        let (slice, set) = self.locate(addr);
+        let shard = &mut self.shards[slice];
+        // Warm the set's metadata lines now; the bucket resolves later.
+        shard.store.prefetch_set(set);
+        let idx = shard.queue.len() as u32;
+        shard.queue.push(BatchEntry {
+            tag,
+            set: set as u32,
+            mask,
+            agent,
+            kind,
+            hit: false,
+            op,
+        });
+        BatchHandle { slice: slice as u16, idx }
+    }
+
+    /// Enqueues a demand access (batched [`Llc::core_access`]). The returned
+    /// handle is valid after the next [`Llc::batch_flush`].
+    #[inline]
+    pub fn batch_core_access(
+        &mut self,
+        agent: AgentId,
+        alloc_mask: WayMask,
+        addr: u64,
+        op: CoreOp,
+    ) -> BatchHandle {
+        debug_assert!(alloc_mask.fits(self.geom.ways()), "mask exceeds associativity");
+        let kind = if op == CoreOp::Write { BatchKind::CoreWrite } else { BatchKind::CoreRead };
+        self.enqueue(addr, alloc_mask.bits(), agent.to_bits(), kind)
+    }
+
+    /// Enqueues an L2 dirty-victim writeback (batched
+    /// [`Llc::core_writeback`]).
+    #[inline]
+    pub fn batch_core_writeback(&mut self, agent: AgentId, alloc_mask: WayMask, addr: u64) {
+        self.enqueue(addr, alloc_mask.bits(), agent.to_bits(), BatchKind::Writeback);
+    }
+
+    /// Enqueues an inbound DDIO write (batched [`Llc::io_write`]).
+    #[inline]
+    pub fn batch_io_write(&mut self, ddio_mask: WayMask, addr: u64) {
+        self.enqueue(addr, ddio_mask.bits(), AgentId::IO.to_bits(), BatchKind::IoWrite);
+    }
+
+    /// Enqueues a device read (batched [`Llc::io_read`]).
+    #[inline]
+    pub fn batch_io_read(&mut self, addr: u64) {
+        self.enqueue(addr, 0, AgentId::IO.to_bits(), BatchKind::IoRead);
+    }
+
+    /// Operations enqueued since the last flush.
+    pub fn batch_pending(&self) -> usize {
+        self.pending_ops as usize
+    }
+
+    /// Resolves every enqueued operation and merges statistics.
+    ///
+    /// Each slice's bucket is drained in enqueue order — in the calling
+    /// thread, or partitioned over `--slice-workers` threads when the batch
+    /// is large enough to pay for the spawn. Results are identical either
+    /// way; see the shard module for the determinism argument.
+    pub fn batch_flush(&mut self) {
+        if self.pending_ops == 0 {
+            self.flushed = true;
+            return;
+        }
+        let workers = config::flush_workers();
+        if workers > 1 && self.pending_ops >= PAR_MIN_OPS {
+            let lanes = workers.min(self.shards.len());
+            std::thread::scope(|s| {
+                let mut parts: Vec<Vec<&mut SliceShard>> =
+                    (0..lanes).map(|_| Vec::new()).collect();
+                for (i, shard) in self.shards.iter_mut().enumerate() {
+                    if !shard.queue.is_empty() {
+                        parts[i % lanes].push(shard);
+                    }
+                }
+                let mut parts = parts.into_iter();
+                let mine = parts.next().unwrap_or_default();
+                for part in parts {
+                    if !part.is_empty() {
+                        s.spawn(move || {
+                            for shard in part {
+                                shard.process();
+                            }
+                        });
+                    }
+                }
+                for shard in mine {
+                    shard.process();
+                }
+            });
+        } else {
+            for shard in &mut self.shards {
+                if !shard.queue.is_empty() {
+                    shard.process();
+                }
+            }
+        }
+        self.merge_deltas();
+        self.pending_ops = 0;
+        self.flushed = true;
+    }
+
+    /// Whether the operation behind `handle` hit in the LLC. Valid between
+    /// the flush that resolved it and the next enqueue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with pending (unflushed) operations or a stale
+    /// handle.
+    #[inline]
+    pub fn batch_hit(&self, handle: BatchHandle) -> bool {
+        debug_assert!(self.flushed, "batch_hit before batch_flush");
+        self.shards[handle.slice as usize].queue[handle.idx as usize].hit
+    }
+
+    /// Folds every shard's [`ShardDelta`] into the global counters.
+    ///
+    /// Sums commute, so only first-touch agent registration needs care: new
+    /// agents are registered in ascending order of the operation that first
+    /// touched them (ties broken by shard-local discovery order, which can
+    /// only tie within one operation), exactly reproducing the serial
+    /// registration sequence.
+    fn merge_deltas(&mut self) {
+        let mut new_agents: Vec<(u32, u32, u16)> = Vec::new();
+        for shard in &self.shards {
+            for (i, (bits, d)) in shard.delta.agents.iter().enumerate() {
+                if !self.stats.contains_agent(AgentId::from_bits(*bits)) {
+                    new_agents.push((d.first_op, i as u32, *bits));
+                }
+            }
+        }
+        new_agents.sort_unstable();
+        for &(_, _, bits) in &new_agents {
+            self.stats.agent_mut(AgentId::from_bits(bits));
+        }
+        for (slice, shard) in self.shards.iter_mut().enumerate() {
+            let d = &mut shard.delta;
+            self.stats.evictions += d.evictions;
+            self.stats.slices[slice].ddio_hits += d.io.ddio_hits;
+            self.stats.slices[slice].ddio_misses += d.io.ddio_misses;
+            self.mem.add_lines(d.mem_reads, d.mem_writes);
+            self.valid_count += d.lines_added;
+            for (bits, ad) in d.agents.iter() {
+                let st = self.stats.agent_mut(AgentId::from_bits(*bits));
+                st.references += ad.references;
+                st.misses += ad.misses;
+                st.evicted_by_others += ad.evicted_by_others;
+                st.occupancy_lines = st
+                    .occupancy_lines
+                    .checked_add_signed(ad.occupancy)
+                    .expect("agent occupancy went negative in delta merge");
+            }
+            d.clear();
+        }
+    }
+
+    /// FNV-1a digest over the complete cache body — tags, owners, LRU
+    /// ranks, valid and dirty bits of every slice. Two `Llc`s that report
+    /// the same digest made identical victim choices and hold identical
+    /// (dirty) state; the equivalence tests use this to compare the batched
+    /// pipeline against the serial oracle.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for shard in &self.shards {
+            h = shard.store.digest(h);
+        }
+        h
     }
 }
 
@@ -563,13 +692,15 @@ mod tests {
             llc.core_access(a, m, i * 64 * 7, CoreOp::Read);
         }
         let ways = llc.geometry().ways() as usize;
-        for set in 0..llc.valid.len() {
-            let mut seen = vec![false; ways];
-            for w in 0..ways {
-                let r = llc.ranks[set * ways + w] as usize;
-                assert!(r < ways, "rank out of range");
-                assert!(!seen[r], "duplicate rank {r} in set {set}");
-                seen[r] = true;
+        for shard in &llc.shards {
+            for set in 0..shard.store.sets() {
+                let mut seen = vec![false; ways];
+                for w in 0..ways {
+                    let r = shard.store.rank(set, w) as usize;
+                    assert!(r < ways, "rank out of range");
+                    assert!(!seen[r], "duplicate rank {r} in set {set}");
+                    seen[r] = true;
+                }
             }
         }
     }
@@ -586,5 +717,57 @@ mod tests {
         assert_eq!(llc.accesses(), 4);
         llc.reset_stats();
         assert_eq!(llc.accesses(), 4, "accesses survives reset_stats");
+    }
+
+    /// Drives the same op stream through the serial API and the batched
+    /// pipeline (one flush per mixed window) and requires identical
+    /// outcomes, statistics, counters and cache state.
+    #[test]
+    fn batched_pipeline_matches_serial_smoke() {
+        let mut serial = tiny();
+        let mut batched = tiny();
+        let m = WayMask::all(4);
+        let ddio = WayMask::contiguous(2, 2).unwrap();
+        let addr = |i: u64| (i.wrapping_mul(0x9E37_79B9)) % (1 << 14) * 64;
+        for window in 0..64u64 {
+            let mut handles = Vec::new();
+            let mut expect = Vec::new();
+            for j in 0..23u64 {
+                let i = window * 23 + j;
+                let a = addr(i);
+                match i % 5 {
+                    0 | 3 => {
+                        let op = if i % 2 == 0 { CoreOp::Read } else { CoreOp::Write };
+                        expect.push(serial.core_access(agent((i % 3) as u16), m, a, op).is_hit());
+                        handles.push(batched.batch_core_access(agent((i % 3) as u16), m, a, op));
+                    }
+                    1 => {
+                        serial.core_writeback(agent(0), m, a);
+                        batched.batch_core_writeback(agent(0), m, a);
+                    }
+                    2 => {
+                        serial.io_write(ddio, a);
+                        batched.batch_io_write(ddio, a);
+                    }
+                    _ => {
+                        serial.io_read(a);
+                        batched.batch_io_read(a);
+                    }
+                }
+            }
+            batched.batch_flush();
+            for (h, want) in handles.into_iter().zip(expect) {
+                assert_eq!(batched.batch_hit(h), want);
+            }
+        }
+        assert_eq!(serial.state_digest(), batched.state_digest());
+        assert_eq!(serial.accesses(), batched.accesses());
+        assert_eq!(serial.valid_lines(), batched.valid_lines());
+        assert_eq!(serial.mem(), batched.mem());
+        assert_eq!(serial.stats().evictions, batched.stats().evictions);
+        let sa: Vec<_> = serial.stats().agents().map(|(a, s)| (a, *s)).collect();
+        let ba: Vec<_> = batched.stats().agents().map(|(a, s)| (a, *s)).collect();
+        assert_eq!(sa, ba, "per-agent stats (incl. first-touch order) must match");
+        assert_eq!(serial.stats().slices, batched.stats().slices);
     }
 }

@@ -145,6 +145,14 @@ impl LlcStats {
         self.slices.iter().map(|s| s.ddio_misses).sum()
     }
 
+    /// Whether `id` has already been registered (first-touch ordering is
+    /// observable through [`LlcStats::agents`], so the batched pipeline
+    /// must know which agents are new before merging deltas).
+    #[inline]
+    pub(crate) fn contains_agent(&self, id: AgentId) -> bool {
+        self.agents.iter().any(|(a, _)| *a == id)
+    }
+
     #[inline]
     pub(crate) fn agent_mut(&mut self, id: AgentId) -> &mut AgentStats {
         match self.agents.iter().position(|(a, _)| *a == id) {

@@ -3,7 +3,7 @@
 //! implementation against a naive tick-based reference model.
 
 use iat_cachesim::{
-    AccessOutcome, AgentId, CacheGeometry, CoreOp, IoOutcome, Llc, WayMask,
+    AccessOutcome, AgentId, BatchHandle, CacheGeometry, CoreOp, IoOutcome, Llc, WayMask,
 };
 use proptest::prelude::*;
 
@@ -340,6 +340,91 @@ proptest! {
             prop_assert_eq!(llc.contains(addr), reference.contains(addr));
             prop_assert_eq!(llc.owner_of(addr), reference.owner_of(addr));
         }
+    }
+
+    /// The batched, slice-parallel pipeline is bit-identical to the
+    /// serial path over random interleaved core/DDIO streams under mixed
+    /// CAT masks: the same per-op hit/miss resolution, the same derived
+    /// statistics (including first-touch agent registration order), and
+    /// the same final contents and replacement state — victim choices
+    /// included, via the state digest — whether a flush resolves in the
+    /// calling thread or across several workers, and regardless of how
+    /// the stream is cut into flush windows.
+    #[test]
+    fn slice_parallel_matches_serial(
+        ops in proptest::collection::vec(op_strategy(8), 1..500),
+        window in 1usize..300,
+    ) {
+        let geom = CacheGeometry::new(8, 16, 4).expect("valid geometry");
+        let ddio = WayMask::contiguous(6, 2).unwrap();
+
+        // Serial reference pass, recording every demand access's outcome.
+        let mut serial = Llc::new(geom);
+        let mut want_hits = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Core { agent, mask_first, mask_count, addr, write } => {
+                    let Some(mask) = clamp_mask(geom.ways(), mask_first, mask_count) else {
+                        continue;
+                    };
+                    let op = if write { CoreOp::Write } else { CoreOp::Read };
+                    want_hits.push(serial.core_access(AgentId::new(agent), mask, addr, op).is_hit());
+                }
+                Op::Writeback { agent, mask_first, mask_count, addr } => {
+                    let Some(mask) = clamp_mask(geom.ways(), mask_first, mask_count) else {
+                        continue;
+                    };
+                    serial.core_writeback(AgentId::new(agent), mask, addr);
+                }
+                Op::IoWrite { addr } => { serial.io_write(ddio, addr); }
+                Op::IoRead { addr } => { serial.io_read(addr); }
+            }
+        }
+
+        for workers in [1u32, 4] {
+            iat_cachesim::config::set_slice_workers(Some(workers));
+            let mut batched = Llc::new(geom);
+            let mut got_hits = Vec::new();
+            let mut handles: Vec<BatchHandle> = Vec::new();
+            for (k, op) in ops.iter().enumerate() {
+                match *op {
+                    Op::Core { agent, mask_first, mask_count, addr, write } => {
+                        let Some(mask) = clamp_mask(geom.ways(), mask_first, mask_count) else {
+                            continue;
+                        };
+                        let op = if write { CoreOp::Write } else { CoreOp::Read };
+                        handles.push(batched.batch_core_access(AgentId::new(agent), mask, addr, op));
+                    }
+                    Op::Writeback { agent, mask_first, mask_count, addr } => {
+                        let Some(mask) = clamp_mask(geom.ways(), mask_first, mask_count) else {
+                            continue;
+                        };
+                        batched.batch_core_writeback(AgentId::new(agent), mask, addr);
+                    }
+                    Op::IoWrite { addr } => batched.batch_io_write(ddio, addr),
+                    Op::IoRead { addr } => batched.batch_io_read(addr),
+                }
+                if (k + 1) % window == 0 {
+                    batched.batch_flush();
+                    got_hits.extend(handles.drain(..).map(|h| batched.batch_hit(h)));
+                }
+            }
+            batched.batch_flush();
+            got_hits.extend(handles.drain(..).map(|h| batched.batch_hit(h)));
+
+            prop_assert_eq!(&got_hits, &want_hits, "workers={}", workers);
+            prop_assert_eq!(batched.state_digest(), serial.state_digest());
+            prop_assert_eq!(batched.valid_lines(), serial.valid_lines());
+            prop_assert_eq!(batched.stats().evictions, serial.stats().evictions);
+            prop_assert_eq!(batched.mem().read_lines(), serial.mem().read_lines());
+            prop_assert_eq!(batched.mem().write_lines(), serial.mem().write_lines());
+            prop_assert_eq!(batched.stats().ddio_hits(), serial.stats().ddio_hits());
+            prop_assert_eq!(batched.stats().ddio_misses(), serial.stats().ddio_misses());
+            let got: Vec<_> = batched.stats().agents().map(|(id, s)| (id, *s)).collect();
+            let want: Vec<_> = serial.stats().agents().map(|(id, s)| (id, *s)).collect();
+            prop_assert_eq!(got, want);
+        }
+        iat_cachesim::config::set_slice_workers(None);
     }
 
     /// Memory counters are monotonic over any operation sequence.

@@ -71,12 +71,37 @@ impl DmaEngine {
         ring: &mut RxRing,
         batch: &PacketBatch,
     ) -> usize {
+        if !iat_cachesim::config::batching_enabled() {
+            let mut accepted = 0;
+            for &flow in &batch.flows {
+                if self.rx_one(hierarchy, ddio, ring, PacketSlot::new(flow, batch.size)) {
+                    accepted += 1;
+                }
+            }
+            return accepted;
+        }
+        // Batched path: ring claims and drop decisions depend only on ring
+        // occupancy, never on cache outcomes, so the whole burst's DDIO
+        // line writes enqueue up front and resolve in one slice-bucketed
+        // flush — bit-identical to line-at-a-time delivery.
         let mut accepted = 0;
         for &flow in &batch.flows {
-            if self.rx_one(hierarchy, ddio, ring, PacketSlot::new(flow, batch.size)) {
-                accepted += 1;
+            let slot = PacketSlot::new(flow, batch.size);
+            let Some(idx) = ring.push(slot) else {
+                self.rx_dropped += 1;
+                continue;
+            };
+            hierarchy.batch_io_write(ddio, ring.desc_addr(idx));
+            self.lines_written += 1;
+            let base = ring.buf_addr(idx);
+            for l in 0..slot.payload_lines() {
+                hierarchy.batch_io_write(ddio, base + l * LINE_BYTES);
+                self.lines_written += 1;
             }
+            self.rx_packets += 1;
+            accepted += 1;
         }
+        hierarchy.batch_flush();
         accepted
     }
 
@@ -89,18 +114,31 @@ impl DmaEngine {
         ring: &mut TxRing,
         max: usize,
     ) -> usize {
+        let batching = iat_cachesim::config::batching_enabled();
         let mut sent = 0;
         while sent < max {
             let Some((idx, slot)) = ring.pop() else { break };
-            hierarchy.io_read(ring.desc_addr(idx));
+            let desc = ring.desc_addr(idx);
+            if batching {
+                hierarchy.batch_io_read(desc);
+            } else {
+                hierarchy.io_read(desc);
+            }
             self.lines_read += 1;
             let base = slot.ext_buf.unwrap_or_else(|| ring.buf_addr(idx));
             for l in 0..slot.payload_lines() {
-                hierarchy.io_read(base + l * LINE_BYTES);
+                if batching {
+                    hierarchy.batch_io_read(base + l * LINE_BYTES);
+                } else {
+                    hierarchy.io_read(base + l * LINE_BYTES);
+                }
                 self.lines_read += 1;
             }
             self.tx_packets += 1;
             sent += 1;
+        }
+        if batching {
+            hierarchy.batch_flush();
         }
         sent
     }

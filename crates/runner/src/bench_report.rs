@@ -12,7 +12,15 @@ use crate::exec::{Outcome, RunOptions, RunOutput};
 use serde_json::{json, Value};
 
 /// Schema tag stamped into every report; bump when the shape changes.
-pub const BENCH_SCHEMA: &str = "iat-bench-repro/v1";
+///
+/// v2: access-free figures (static tables) no longer carry a bogus
+/// `accesses_per_s: 0.0` — the key is omitted — and the top-level
+/// throughput divides by the job cost of access-reporting figures only;
+/// the `slice_workers` policy the sweep ran under is recorded.
+pub const BENCH_SCHEMA: &str = "iat-bench-repro/v2";
+
+/// Schema tag for one `BENCH_history.jsonl` line (see [`history_record`]).
+pub const HISTORY_SCHEMA: &str = "iat-bench-history/v1";
 
 /// Builds the `BENCH_repro.json` document for one sweep execution.
 ///
@@ -41,17 +49,34 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
     }
     let busy: f64 = figures.iter().map(|(_, w, ..)| w).sum();
     let accesses: u64 = figures.iter().map(|(.., a, _)| a).sum();
+    // Aggregate throughput over the figures that actually simulate
+    // accesses; static-table groups would only dilute the number.
+    let sim_busy: f64 = figures
+        .iter()
+        .filter(|(.., a, _)| *a > 0)
+        .map(|(_, w, ..)| w)
+        .sum();
     let figures: Vec<Value> = figures
         .into_iter()
         .map(|(figure, wall_s, jobs, accesses, ok)| {
-            json!({
-                "figure": figure,
-                "jobs": jobs,
-                "wall_s": wall_s,
-                "accesses": accesses,
-                "accesses_per_s": accesses as f64 / wall_s.max(1e-9),
-                "ok": ok,
-            })
+            if accesses > 0 {
+                json!({
+                    "figure": figure,
+                    "jobs": jobs,
+                    "wall_s": wall_s,
+                    "accesses": accesses,
+                    "accesses_per_s": accesses as f64 / wall_s.max(1e-9),
+                    "ok": ok,
+                })
+            } else {
+                json!({
+                    "figure": figure,
+                    "jobs": jobs,
+                    "wall_s": wall_s,
+                    "accesses": accesses,
+                    "ok": ok,
+                })
+            }
         })
         .collect();
     json!({
@@ -59,13 +84,94 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
         "profile": profile,
         "smoke": opts.smoke,
         "jobs": opts.jobs,
+        "slice_workers": opts.slice_workers,
         "root_seed": opts.root_seed,
         "wall_s": out.wall.as_secs_f64(),
         "aggregate_job_cost_s": busy,
         "accesses": accesses,
-        "accesses_per_s": accesses as f64 / busy.max(1e-9),
+        "accesses_per_s": accesses as f64 / sim_busy.max(1e-9),
         "figures": figures,
     })
+}
+
+/// Extracts the previous per-figure job costs from a bench report, for
+/// [`RunOptions::expected_costs`]-driven longest-expected-first
+/// scheduling. Accepts any schema version that carries a `figures`
+/// array (including v1 reports from before the tag bump); returns an
+/// empty list — scheduling falls back to registration order — when the
+/// document doesn't parse.
+pub fn expected_costs(doc: &Value) -> Vec<(String, f64)> {
+    doc["figures"]
+        .as_array()
+        .map(|figs| {
+            figs.iter()
+                .filter_map(|f| {
+                    let name = f["figure"].as_str()?;
+                    let cost = f["wall_s"].as_f64().filter(|w| w.is_finite() && *w >= 0.0)?;
+                    Some((name.to_owned(), cost))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Builds the one-line `BENCH_history.jsonl` record for a sweep: the
+/// report's headline numbers, without the per-figure breakdown, so the
+/// file accumulates one compact line per run.
+pub fn history_record(report: &Value) -> Value {
+    let ok = report["figures"]
+        .as_array()
+        .is_some_and(|figs| figs.iter().all(|f| f["ok"].as_bool() == Some(true)));
+    json!({
+        "schema": HISTORY_SCHEMA,
+        "profile": report["profile"],
+        "smoke": report["smoke"],
+        "jobs": report["jobs"],
+        "slice_workers": report["slice_workers"],
+        "root_seed": report["root_seed"],
+        "wall_s": report["wall_s"],
+        "aggregate_job_cost_s": report["aggregate_job_cost_s"],
+        "accesses": report["accesses"],
+        "accesses_per_s": report["accesses_per_s"],
+        "figures": report["figures"].as_array().map_or(0, Vec::len),
+        "ok": ok,
+    })
+}
+
+/// Validates one `BENCH_history.jsonl` record.
+///
+/// # Errors
+///
+/// Returns a description of the first violated constraint.
+pub fn validate_history(line: &Value) -> Result<(), String> {
+    let schema = line["schema"].as_str().ok_or("missing history schema tag")?;
+    if schema != HISTORY_SCHEMA {
+        return Err(format!("unknown history schema {schema:?} (expected {HISTORY_SCHEMA:?})"));
+    }
+    match line["profile"].as_str() {
+        Some("release" | "debug") => {}
+        other => return Err(format!("bad profile {other:?}")),
+    }
+    for key in ["smoke", "ok"] {
+        if line[key].as_bool().is_none() {
+            return Err(format!("{key} must be a boolean"));
+        }
+    }
+    if !line["slice_workers"].is_null() && line["slice_workers"].as_u64().is_none() {
+        return Err("slice_workers must be null or a non-negative integer".into());
+    }
+    for key in ["jobs", "root_seed", "accesses", "figures"] {
+        if line[key].as_u64().is_none() {
+            return Err(format!("{key} must be a non-negative integer"));
+        }
+    }
+    for key in ["wall_s", "aggregate_job_cost_s", "accesses_per_s"] {
+        match line[key].as_f64() {
+            Some(v) if v.is_finite() && v >= 0.0 => {}
+            _ => return Err(format!("{key} must be a finite non-negative number")),
+        }
+    }
+    Ok(())
 }
 
 /// Validates a `BENCH_repro.json` document's schema (the CI guard that
@@ -85,6 +191,9 @@ pub fn validate(doc: &Value) -> Result<(), String> {
     }
     if doc["smoke"].as_bool().is_none() {
         return Err("smoke must be a boolean".into());
+    }
+    if !doc["slice_workers"].is_null() && doc["slice_workers"].as_u64().is_none() {
+        return Err("slice_workers must be null (auto) or a non-negative integer".into());
     }
     for key in ["jobs", "root_seed", "accesses"] {
         if doc[key].as_u64().is_none() {
@@ -110,12 +219,31 @@ pub fn validate(doc: &Value) -> Result<(), String> {
                 return Err(format!("figure {}: {key} must be an integer", f["figure"]));
             }
         }
-        for key in ["wall_s", "accesses_per_s"] {
-            match f[key].as_f64() {
+        match f["wall_s"].as_f64() {
+            Some(v) if v.is_finite() && v >= 0.0 => {}
+            _ => {
+                return Err(format!(
+                    "figure {}: wall_s must be a finite non-negative number",
+                    f["figure"]
+                ))
+            }
+        }
+        // Throughput accompanies exactly the figures that simulate
+        // accesses; access-free figures must omit it (no bogus zeros).
+        let per_s = &f["accesses_per_s"];
+        if f["accesses"].as_u64() == Some(0) {
+            if !per_s.is_null() {
+                return Err(format!(
+                    "figure {}: access-free figures must omit accesses_per_s",
+                    f["figure"]
+                ));
+            }
+        } else {
+            match per_s.as_f64() {
                 Some(v) if v.is_finite() && v >= 0.0 => {}
                 _ => {
                     return Err(format!(
-                        "figure {}: {key} must be a finite non-negative number",
+                        "figure {}: accesses_per_s must be a finite non-negative number",
                         f["figure"]
                     ))
                 }
@@ -157,6 +285,13 @@ mod tests {
                     wall: Duration::from_millis(100),
                     accesses: 77,
                 },
+                crate::JobReport {
+                    name: "tableZ".into(),
+                    group: "tableZ".into(),
+                    outcome: Outcome::Ok,
+                    wall: Duration::from_millis(10),
+                    accesses: 0,
+                },
             ],
             stdout: String::new(),
             files: Vec::new(),
@@ -174,8 +309,9 @@ mod tests {
         assert_eq!(doc["schema"], BENCH_SCHEMA);
         assert_eq!(doc["accesses"], 1077);
         assert_eq!(doc["jobs"], 2);
+        assert!(doc["slice_workers"].is_null(), "auto policy records null");
         let figs = doc["figures"].as_array().unwrap();
-        assert_eq!(figs.len(), 2);
+        assert_eq!(figs.len(), 3);
         assert_eq!(figs[0]["figure"], "figX");
         assert_eq!(figs[0]["jobs"], 2);
         assert_eq!(figs[0]["accesses"], 1000);
@@ -183,6 +319,44 @@ mod tests {
         assert_eq!(figs[1]["ok"], false);
         let wall = figs[0]["wall_s"].as_f64().unwrap();
         assert!((wall - 0.3).abs() < 1e-9);
+        // Access-free figures omit throughput and stay out of the
+        // aggregate denominator (0.4s of sim work, not 0.41s).
+        assert_eq!(figs[2]["figure"], "tableZ");
+        assert!(figs[2]["accesses_per_s"].is_null());
+        assert!(figs[0]["accesses_per_s"].as_f64().is_some());
+        let agg = doc["accesses_per_s"].as_f64().unwrap();
+        assert!((agg - 1077.0 / 0.4).abs() < 1e-6, "got {agg}");
+    }
+
+    #[test]
+    fn expected_costs_reads_any_figures_array() {
+        let out = fake_output();
+        let doc = bench_report(&out, &RunOptions::default(), "release");
+        let costs = expected_costs(&doc);
+        assert_eq!(costs.len(), 3);
+        assert_eq!(costs[0].0, "figX");
+        assert!((costs[0].1 - 0.3).abs() < 1e-9);
+        assert!(expected_costs(&serde_json::json!({})).is_empty());
+    }
+
+    #[test]
+    fn history_record_round_trips() {
+        let out = fake_output();
+        let opts = RunOptions { slice_workers: Some(4), ..RunOptions::default() };
+        let doc = bench_report(&out, &opts, "release");
+        let line = history_record(&doc);
+        validate_history(&line).expect("self-emitted history line must validate");
+        assert_eq!(line["schema"], HISTORY_SCHEMA);
+        assert_eq!(line["slice_workers"], 4);
+        assert_eq!(line["figures"], 3);
+        assert_eq!(line["ok"], false, "figY failed");
+        assert!(line["figures"].as_u64().is_some());
+        assert!(validate_history(&serde_json::json!({})).is_err());
+        assert!(validate_history(&serde_json::json!({"schema": "nope"})).is_err());
+        assert!(validate_history(&with_field(&line, "wall_s", serde_json::json!("fast"))).is_err());
+        assert!(
+            validate_history(&with_field(&line, "slice_workers", serde_json::json!(-3))).is_err()
+        );
     }
 
     /// Rebuilds a valid report with one top-level field replaced.

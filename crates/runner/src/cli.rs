@@ -22,6 +22,8 @@ impl Default for RunOptions {
             only: Vec::new(),
             smoke: false,
             root_seed: 0,
+            slice_workers: None,
+            expected_costs: Vec::new(),
         }
     }
 }
@@ -37,11 +39,17 @@ pub const USAGE: &str = "\
 repro — regenerate every figure/table capture under results/
 
 USAGE:
-    repro [--jobs N] [--only NAME]... [--smoke] [--check] [--seed N] [--list]
+    repro [--jobs N] [--slice-workers N] [--only NAME]... [--smoke]
+          [--check] [--seed N] [--list]
 
 OPTIONS:
     --jobs N     worker threads (default: min(cores, 8)); output is
                  byte-identical for every N
+    --slice-workers N
+                 LLC batch pipeline policy: 0 = serial reference oracle,
+                 N >= 1 = batched with N slice workers per flush
+                 (default: auto — sized from the spare core budget);
+                 output is byte-identical for every setting
     --only NAME  run one figure group (e.g. fig12) or a single job
                  (e.g. fig12/rocksdb); repeatable
     --smoke      run only the cheap deterministic subset and byte-compare
@@ -70,6 +78,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
                     .parse::<usize>()
                     .map_err(|_| format!("bad --jobs value {v:?}"))?
                     .max(1);
+            }
+            "--slice-workers" => {
+                let v = it.next().ok_or("--slice-workers needs a value")?;
+                cli.opts.slice_workers = Some(
+                    v.parse::<u32>()
+                        .map_err(|_| format!("bad --slice-workers value {v:?}"))?,
+                );
             }
             "--only" => {
                 cli.opts.only.push(it.next().ok_or("--only needs a value")?);
@@ -113,6 +128,17 @@ mod tests {
         );
         assert_eq!(cli.opts.root_seed, 7);
         assert!(cli.check && !cli.opts.smoke && !cli.list);
+        assert_eq!(cli.opts.slice_workers, None, "default is auto");
+    }
+
+    #[test]
+    fn parses_slice_workers() {
+        let cli = parse_args(["--slice-workers".to_owned(), "0".to_owned()]).unwrap();
+        assert_eq!(cli.opts.slice_workers, Some(0));
+        let cli = parse_args(["--slice-workers".to_owned(), "4".to_owned()]).unwrap();
+        assert_eq!(cli.opts.slice_workers, Some(4));
+        assert!(parse_args(["--slice-workers".to_owned(), "-1".to_owned()]).is_err());
+        assert!(parse_args(["--slice-workers".to_owned()]).is_err());
     }
 
     #[test]

@@ -22,6 +22,17 @@ pub struct RunOptions {
     pub smoke: bool,
     /// Root of the per-job seed derivation.
     pub root_seed: u64,
+    /// LLC slice-worker policy forwarded to `iat_cachesim::config`:
+    /// `None` = auto, `Some(0)` = serial reference oracle, `Some(n)` =
+    /// batch with exactly `n` flush workers. Results are byte-identical
+    /// for every setting.
+    pub slice_workers: Option<u32>,
+    /// Previous per-group job costs in seconds (typically loaded from the
+    /// last `BENCH_repro.json`), used to order the ready queue
+    /// longest-expected-first so the slowest figures don't straggle at
+    /// the tail of the sweep. Purely a scheduling hint: output order and
+    /// bytes are unaffected.
+    pub expected_costs: Vec<(String, f64)>,
 }
 
 /// How one job ended.
@@ -96,8 +107,12 @@ struct Sched {
     indegree: Vec<usize>,
     /// Reverse edges, by job index.
     dependents: Vec<Vec<usize>>,
-    /// Ready job indices; workers always claim the smallest.
+    /// Ready job indices; workers claim the highest expected cost first
+    /// ([`Sched::prio`]), registration order breaking ties.
     ready: Vec<usize>,
+    /// Per-job expected cost in microseconds, derived from
+    /// [`RunOptions::expected_costs`]; zero when no history exists.
+    prio: Vec<u64>,
     /// Completed artifacts.
     artifacts: Vec<Option<Value>>,
     outcomes: Vec<Option<Outcome>>,
@@ -152,6 +167,7 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
     }
 
     let started = Instant::now();
+    iat_cachesim::config::set_slice_workers(opts.slice_workers);
     let include = select(&reg, opts);
     let index: BTreeMap<String, usize> = reg
         .jobs
@@ -171,12 +187,38 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
         })
         .collect();
 
+    // Longest-expected-first scheduling hint: history records cost per
+    // figure group, so spread a group's previous cost evenly over its
+    // jobs. Unknown groups get priority zero (run last, in order).
+    let mut group_n: BTreeMap<&str, u64> = BTreeMap::new();
+    for (i, j) in metas.iter().enumerate() {
+        if include[i] {
+            *group_n.entry(j.group.as_str()).or_insert(0) += 1;
+        }
+    }
+    let prio: Vec<u64> = metas
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            if !include[i] {
+                return 0;
+            }
+            opts.expected_costs
+                .iter()
+                .find(|(g, _)| g == &j.group)
+                .map_or(0, |(_, cost)| {
+                    (cost.max(0.0) * 1e6) as u64 / group_n[j.group.as_str()].max(1)
+                })
+        })
+        .collect();
+
     let n = reg.jobs.len();
     let mut sched = Sched {
         bodies: reg.jobs.iter_mut().map(|j| j.run.take()).collect(),
         indegree: vec![0; n],
         dependents: vec![Vec::new(); n],
         ready: Vec::new(),
+        prio,
         artifacts: vec![None; n],
         outcomes: vec![None; n],
         ctxs: (0..n).map(|_| None).collect(),
@@ -215,8 +257,17 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
                 let (i, body, deps) = {
                     let mut s = state.lock().expect("runner lock");
                     loop {
-                        if let Some(pos) = s.ready.first().copied() {
-                            s.ready.remove(0);
+                        // Claim the ready job with the highest expected
+                        // cost (registration order breaks ties) so the
+                        // long poles start as early as possible.
+                        let best = s
+                            .ready
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|&(_, &j)| (s.prio[j], std::cmp::Reverse(j)))
+                            .map(|(k, _)| k);
+                        if let Some(k) = best {
+                            let pos = s.ready.remove(k);
                             s.running += 1;
                             let body = s.bodies[pos].take().expect("job body claimed twice");
                             let mut deps = BTreeMap::new();
@@ -243,6 +294,10 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
 
                 let job = &metas[i];
                 let mut ctx = JobCtx::new(&job.name, opts.root_seed, opts.smoke, deps);
+                // Hold one worker slot while the job runs: auto-mode
+                // LLC flushes size their intra-job parallelism from
+                // whatever the inter-job workers leave over.
+                iat_cachesim::config::acquire_slot();
                 let t0 = Instant::now();
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)))
@@ -255,6 +310,7 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
                             Err(format!("panic: {msg}"))
                         });
                 let wall = t0.elapsed();
+                iat_cachesim::config::release_slot();
 
                 let mut s = state.lock().expect("runner lock");
                 s.walls[i] = wall;
@@ -274,8 +330,7 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
                         for d in sched_dependents(&s, i) {
                             s.indegree[d] -= 1;
                             if s.indegree[d] == 0 && s.outcomes[d].is_none() {
-                                let pos = s.ready.binary_search(&d).unwrap_err();
-                                s.ready.insert(pos, d);
+                                s.ready.push(d);
                             }
                         }
                     }
@@ -410,16 +465,29 @@ pub fn print_summary(out: &RunOutput) {
     progress("-----------------------------------------------");
     let mut busy = Duration::ZERO;
     let mut total_accesses = 0u64;
+    let mut sim_busy = Duration::ZERO;
     for (group, wall, jobs, accesses, ok) in &groups {
         busy += *wall;
         total_accesses += *accesses;
+        // Access-free groups (static tables) have no meaningful
+        // throughput — print a dash rather than a bogus `0 acc/s`, and
+        // keep them out of the aggregate throughput denominator below.
+        let (acc_col, rate_col) = if *accesses == 0 {
+            ("-".to_owned(), "-".to_owned())
+        } else {
+            sim_busy += *wall;
+            (
+                human_count(*accesses),
+                human_count((*accesses as f64 / wall.as_secs_f64().max(1e-9)) as u64),
+            )
+        };
         progress(&format!(
             "{:<12} {:>5} {:>7.2} s {:>8} {:>7}{}",
             group,
             jobs,
             wall.as_secs_f64(),
-            human_count(*accesses),
-            human_count((*accesses as f64 / wall.as_secs_f64().max(1e-9)) as u64),
+            acc_col,
+            rate_col,
             if *ok { "" } else { "  [FAILED]" }
         ));
     }
@@ -435,7 +503,7 @@ pub fn print_summary(out: &RunOutput) {
     progress(&format!(
         "{} cache accesses simulated, {}/s of aggregate job time",
         human_count(total_accesses),
-        human_count((total_accesses as f64 / busy.as_secs_f64().max(1e-9)) as u64),
+        human_count((total_accesses as f64 / sim_busy.as_secs_f64().max(1e-9)) as u64),
     ));
 }
 

@@ -34,7 +34,10 @@ mod exec;
 mod job;
 pub mod seed;
 
-pub use bench_report::{bench_report, validate as validate_bench_report, BENCH_SCHEMA};
+pub use bench_report::{
+    bench_report, expected_costs, history_record, validate as validate_bench_report,
+    validate_history, BENCH_SCHEMA, HISTORY_SCHEMA,
+};
 pub use cli::{default_jobs, parse_args, Cli, USAGE};
 pub use exec::{
     check_outputs, print_summary, progress, run, write_outputs, JobReport, Outcome, RunOptions,

@@ -11,6 +11,7 @@ fn opts(jobs: usize) -> RunOptions {
         only: Vec::new(),
         smoke: false,
         root_seed: 0,
+        ..RunOptions::default()
     }
 }
 
@@ -131,6 +132,7 @@ fn only_filter_pulls_transitive_deps() {
             only: vec!["d".into()],
             smoke: false,
             root_seed: 0,
+            ..RunOptions::default()
         },
     );
     let names: Vec<&str> = out.reports.iter().map(|r| r.name.as_str()).collect();
@@ -154,6 +156,7 @@ fn smoke_selects_only_tagged_jobs() {
             only: Vec::new(),
             smoke: true,
             root_seed: 0,
+            ..RunOptions::default()
         },
     );
     let names: Vec<&str> = out.reports.iter().map(|r| r.name.as_str()).collect();
@@ -170,6 +173,7 @@ fn root_seed_reaches_every_job() {
             only: Vec::new(),
             smoke: false,
             root_seed: 1,
+            ..RunOptions::default()
         },
     );
     assert_ne!(base.files, reseeded.files);

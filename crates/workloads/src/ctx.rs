@@ -115,6 +115,31 @@ impl ExecCtx<'_> {
             iat_cachesim::CoreOp::Write,
         )
     }
+
+    /// Whether workloads should issue windows of accesses through the
+    /// batched slice pipeline (`--slice-workers 0` disables it, keeping the
+    /// access-at-a-time reference path).
+    #[inline]
+    pub fn batching(&self) -> bool {
+        iat_cachesim::config::batching_enabled()
+    }
+
+    /// Upper bound on the cycle cost of a single core access — the window
+    /// sizing bound for batched workload loops.
+    #[inline]
+    pub fn max_access_cycles(&self) -> u32 {
+        let lat = self.hierarchy.latency();
+        lat.memory_cycles.max(lat.llc_cycles).max(lat.l2_cycles)
+    }
+
+    /// Resolves a window of core accesses in one batched LLC flush,
+    /// overwriting `costs` with per-access cycle costs in op order.
+    /// Bit-identical to issuing [`ExecCtx::read`]/[`ExecCtx::write`] per
+    /// element.
+    #[inline]
+    pub fn access_batch(&mut self, ops: &[(u64, iat_cachesim::CoreOp)], costs: &mut Vec<u32>) {
+        self.hierarchy.core_access_cycles_batch(self.core, self.agent, self.mask, ops, costs);
+    }
 }
 
 /// What a workload reports back for one slice.

@@ -3,6 +3,7 @@
 use crate::ctx::{ExecCtx, ExecResult, Workload, WorkloadKind, WorkloadMetrics};
 use crate::latency::LatencySampler;
 use crate::region::HashRegion;
+use crate::window::AccessWindow;
 use iat_netsim::{PacketSlot, VirtualFunction};
 
 /// Cycles per iteration of an empty DPDK poll loop.
@@ -27,6 +28,7 @@ pub struct TestPmd {
     ports: Vec<VirtualFunction>,
     forwarded: u64,
     latency: LatencySampler,
+    win: AccessWindow,
 }
 
 /// Base per-packet cost of the bounce (mbuf handling, descriptor churn).
@@ -47,7 +49,12 @@ impl TestPmd {
     /// Panics if `ports` is empty.
     pub fn with_ports(ports: Vec<VirtualFunction>) -> Self {
         assert!(!ports.is_empty(), "testpmd needs at least one port");
-        TestPmd { ports, forwarded: 0, latency: LatencySampler::new(0x7e57) }
+        TestPmd {
+            ports,
+            forwarded: 0,
+            latency: LatencySampler::new(0x7e57),
+            win: AccessWindow::default(),
+        }
     }
 
     /// Packets forwarded so far.
@@ -72,39 +79,95 @@ impl Workload for TestPmd {
     fn run(&mut self, ctx: &mut ExecCtx<'_>) -> ExecResult {
         let mut used = 0u64;
         let mut instructions = 0u64;
-        while used < ctx.cycle_budget {
+        if !ctx.batching() {
+            // Serial reference oracle (`--slice-workers 0`).
+            while used < ctx.cycle_budget {
+                let mut progress = false;
+                for p in 0..self.ports.len() {
+                    if used >= ctx.cycle_budget {
+                        break;
+                    }
+                    let port = &mut self.ports[p];
+                    let Some((idx, slot)) = port.rx.pop() else { continue };
+                    progress = true;
+                    let mut cost = TESTPMD_PKT_CYCLES;
+                    // Read the Rx descriptor and the packet header line.
+                    cost += ctx.read(port.rx.desc_addr(idx)) as u64;
+                    let buf = port.rx.buf_addr(idx);
+                    cost += ctx.read(buf) as u64;
+                    // Re-post zero-copy for Tx: write the Tx descriptor.
+                    let tx_slot = PacketSlot::with_ext_buf(slot.flow, slot.size, buf);
+                    let port = &mut self.ports[p];
+                    if let Some(tx_idx) = port.tx.push(tx_slot) {
+                        cost += ctx.write(port.tx.desc_addr(tx_idx)) as u64;
+                        self.forwarded += 1;
+                    }
+                    used += cost;
+                    instructions += TESTPMD_PKT_INSTR;
+                    self.latency.record(cost);
+                }
+                if !progress {
+                    let (i, c) = busy_poll(ctx.cycle_budget - used);
+                    instructions += i;
+                    used += c;
+                    break;
+                }
+            }
+            return ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) };
+        }
+        // Batched path: ring pops, Tx pushes and forward counts do not
+        // depend on access costs, so packets enqueue into the window until
+        // a budget decision is no longer certain from the upper bound; the
+        // flush then resolves pending accesses in one slice-bucketed batch
+        // and the exact (serial-identical) decision is taken. See
+        // `window.rs` for the argument.
+        let budget = ctx.cycle_budget;
+        let max_access = ctx.max_access_cycles() as u64;
+        let mut win = std::mem::take(&mut self.win);
+        'outer: loop {
+            if win.upper_bound(used, max_access) >= budget {
+                win.flush(ctx, &mut used, &mut self.latency);
+                if used >= budget {
+                    break;
+                }
+            }
             let mut progress = false;
             for p in 0..self.ports.len() {
-                if used >= ctx.cycle_budget {
-                    break;
+                if win.upper_bound(used, max_access) >= budget {
+                    win.flush(ctx, &mut used, &mut self.latency);
+                    if used >= budget {
+                        // The serial loop breaks the port scan here and its
+                        // outer `while` then exits (a mid-scan stop implies
+                        // a packet was processed, so `progress` was true).
+                        break 'outer;
+                    }
                 }
                 let port = &mut self.ports[p];
                 let Some((idx, slot)) = port.rx.pop() else { continue };
                 progress = true;
-                let mut cost = TESTPMD_PKT_CYCLES;
-                // Read the Rx descriptor and the packet header line.
-                cost += ctx.read(port.rx.desc_addr(idx)) as u64;
+                win.begin_item(TESTPMD_PKT_CYCLES);
+                win.read(port.rx.desc_addr(idx));
                 let buf = port.rx.buf_addr(idx);
-                cost += ctx.read(buf) as u64;
-                // Re-post zero-copy for Tx: write the Tx descriptor.
+                win.read(buf);
                 let tx_slot = PacketSlot::with_ext_buf(slot.flow, slot.size, buf);
-                let port = &mut self.ports[p];
                 if let Some(tx_idx) = port.tx.push(tx_slot) {
-                    cost += ctx.write(port.tx.desc_addr(tx_idx)) as u64;
+                    win.write(port.tx.desc_addr(tx_idx));
                     self.forwarded += 1;
                 }
-                used += cost;
+                win.end_item();
                 instructions += TESTPMD_PKT_INSTR;
-                self.latency.record(cost);
             }
             if !progress {
-                let (i, c) = busy_poll(ctx.cycle_budget - used);
+                // Stragglers must resolve before sizing the spin.
+                win.flush(ctx, &mut used, &mut self.latency);
+                let (i, c) = busy_poll(budget - used);
                 instructions += i;
                 used += c;
                 break;
             }
         }
-        ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) }
+        self.win = win;
+        ExecResult { instructions, cycles_used: used.min(budget) }
     }
 
     fn metrics(&self) -> WorkloadMetrics {
@@ -138,6 +201,7 @@ pub struct L3Fwd {
     table: HashRegion,
     forwarded: u64,
     latency: LatencySampler,
+    win: AccessWindow,
 }
 
 /// Base per-packet cost (parse, hash, rewrite, descriptor churn).
@@ -149,7 +213,13 @@ impl L3Fwd {
     /// Creates an `l3fwd` instance terminating `vf`, with its flow table in
     /// `table` (typically one line per entry, 1M entries).
     pub fn new(vf: VirtualFunction, table: HashRegion) -> Self {
-        L3Fwd { vf, table, forwarded: 0, latency: LatencySampler::new(0x13f) }
+        L3Fwd {
+            vf,
+            table,
+            forwarded: 0,
+            latency: LatencySampler::new(0x13f),
+            win: AccessWindow::default(),
+        }
     }
 
     /// The flow table region.
@@ -174,30 +244,67 @@ impl Workload for L3Fwd {
     fn run(&mut self, ctx: &mut ExecCtx<'_>) -> ExecResult {
         let mut used = 0u64;
         let mut instructions = 0u64;
-        while used < ctx.cycle_budget {
+        if !ctx.batching() {
+            // Serial reference oracle (`--slice-workers 0`).
+            while used < ctx.cycle_budget {
+                let Some((idx, slot)) = self.vf.rx.pop() else {
+                    let (i, c) = busy_poll(ctx.cycle_budget - used);
+                    instructions += i;
+                    used += c;
+                    break;
+                };
+                let mut cost = L3FWD_PKT_CYCLES;
+                cost += ctx.read(self.vf.rx.desc_addr(idx)) as u64;
+                let buf = self.vf.rx.buf_addr(idx);
+                // Parse the header, look the flow up, rewrite the header.
+                cost += ctx.read(buf) as u64;
+                cost += ctx.read(self.table.entry_line(slot.flow.0 as u64, 0)) as u64;
+                cost += ctx.write(buf) as u64;
+                let tx_slot = PacketSlot::with_ext_buf(slot.flow, slot.size, buf);
+                if let Some(tx_idx) = self.vf.tx.push(tx_slot) {
+                    cost += ctx.write(self.vf.tx.desc_addr(tx_idx)) as u64;
+                    self.forwarded += 1;
+                }
+                used += cost;
+                instructions += L3FWD_PKT_INSTR;
+                self.latency.record(cost);
+            }
+            return ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) };
+        }
+        // Batched path — same certain-bound-or-flush protocol as TestPmd.
+        let budget = ctx.cycle_budget;
+        let max_access = ctx.max_access_cycles() as u64;
+        let mut win = std::mem::take(&mut self.win);
+        loop {
+            if win.upper_bound(used, max_access) >= budget {
+                win.flush(ctx, &mut used, &mut self.latency);
+                if used >= budget {
+                    break;
+                }
+            }
             let Some((idx, slot)) = self.vf.rx.pop() else {
-                let (i, c) = busy_poll(ctx.cycle_budget - used);
+                win.flush(ctx, &mut used, &mut self.latency);
+                let (i, c) = busy_poll(budget - used);
                 instructions += i;
                 used += c;
                 break;
             };
-            let mut cost = L3FWD_PKT_CYCLES;
-            cost += ctx.read(self.vf.rx.desc_addr(idx)) as u64;
+            win.begin_item(L3FWD_PKT_CYCLES);
+            win.read(self.vf.rx.desc_addr(idx));
             let buf = self.vf.rx.buf_addr(idx);
-            // Parse the header, look the flow up, rewrite the header.
-            cost += ctx.read(buf) as u64;
-            cost += ctx.read(self.table.entry_line(slot.flow.0 as u64, 0)) as u64;
-            cost += ctx.write(buf) as u64;
+            win.read(buf);
+            win.read(self.table.entry_line(slot.flow.0 as u64, 0));
+            win.write(buf);
             let tx_slot = PacketSlot::with_ext_buf(slot.flow, slot.size, buf);
             if let Some(tx_idx) = self.vf.tx.push(tx_slot) {
-                cost += ctx.write(self.vf.tx.desc_addr(tx_idx)) as u64;
+                win.write(self.vf.tx.desc_addr(tx_idx));
                 self.forwarded += 1;
             }
-            used += cost;
+            win.end_item();
             instructions += L3FWD_PKT_INSTR;
-            self.latency.record(cost);
         }
-        ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) }
+        self.win = win;
+        ExecResult { instructions, cycles_used: used.min(budget) }
     }
 
     fn metrics(&self) -> WorkloadMetrics {
@@ -299,6 +406,68 @@ mod tests {
         assert_eq!(fwd.metrics().ops, 5);
         // The flow table region must be resident for the touched flows.
         assert!(h.llc().contains(table.entry_line(0, 0)) || h.core(0).l2().hits() > 0);
+    }
+
+    /// The windowed batched paths must match the access-at-a-time oracle
+    /// bit-for-bit: forwarded counts, instructions, cycles, the
+    /// order-sensitive latency reservoir, and the full cache state digest.
+    #[test]
+    fn batched_matches_serial() {
+        use iat_cachesim::config::set_slice_workers;
+
+        fn testpmd_trace(workers: Option<u32>) -> (u64, WorkloadMetrics, Vec<ExecResult>, u64, u64) {
+            set_slice_workers(workers);
+            let mut nic = Nic::new(0x4000_0000, 2, 32, 2048);
+            let ports = vec![nic.vf_mut(VfId(0)).clone(), nic.vf_mut(VfId(1)).clone()];
+            let mut h = MemoryHierarchy::tiny(1);
+            let mut pmd = TestPmd::with_ports(ports);
+            let mut results = Vec::new();
+            // Alternate uneven deliveries and tight budgets so runs end in
+            // every way: mid-scan budget stop, straggler flush + busy poll,
+            // and carry-over backlog between slices.
+            for round in 0..12u64 {
+                let ddio = WayMask::contiguous(2, 2).unwrap();
+                for p in 0..2usize {
+                    let n = (round as usize * 7 + p * 3) % 11;
+                    let port = &mut pmd.ports_mut()[p];
+                    for i in 0..n {
+                        let f = FlowId((round * 31 + i as u64) as u32 % 5);
+                        port.dma.rx_one(&mut h, ddio, &mut port.rx, PacketSlot::new(f, 64));
+                    }
+                }
+                results.push(run(&mut h, &mut pmd, 900 + round * 517));
+            }
+            (pmd.forwarded(), pmd.metrics(), results, h.accesses(), h.llc().state_digest())
+        }
+
+        fn l3fwd_trace(workers: Option<u32>) -> (u64, WorkloadMetrics, Vec<ExecResult>, u64, u64) {
+            set_slice_workers(workers);
+            let mut h = MemoryHierarchy::tiny(1);
+            let table = HashRegion::new(0x9000_0000, 4096, 1);
+            let mut fwd = L3Fwd::new(vf(), table);
+            let mut results = Vec::new();
+            for round in 0..12u64 {
+                let ddio = WayMask::contiguous(2, 2).unwrap();
+                let n = (round as usize * 5) % 9;
+                let port = &mut fwd.ports_mut()[0];
+                for i in 0..n {
+                    let f = FlowId((round * 17 + i as u64) as u32 % 7);
+                    port.dma.rx_one(&mut h, ddio, &mut port.rx, PacketSlot::new(f, 64));
+                }
+                results.push(run(&mut h, &mut fwd, 1_100 + round * 431));
+            }
+            (fwd.forwarded, fwd.metrics(), results, h.accesses(), h.llc().state_digest())
+        }
+
+        let serial = testpmd_trace(Some(0));
+        for w in [Some(1), Some(4), None] {
+            assert_eq!(testpmd_trace(w), serial, "testpmd diverged with workers={w:?}");
+        }
+        let serial = l3fwd_trace(Some(0));
+        for w in [Some(1), Some(4), None] {
+            assert_eq!(l3fwd_trace(w), serial, "l3fwd diverged with workers={w:?}");
+        }
+        set_slice_workers(None);
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod ovs;
 mod region;
 mod rocks;
 mod spec;
+mod window;
 mod xmem;
 mod ycsb;
 

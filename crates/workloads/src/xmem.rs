@@ -4,13 +4,17 @@
 
 use crate::ctx::{ExecCtx, ExecResult, Workload, WorkloadKind, WorkloadMetrics};
 use crate::latency::LatencySampler;
-use iat_cachesim::LINE_BYTES;
+use iat_cachesim::{CoreOp, LINE_BYTES};
 
 /// Instructions retired per X-Mem read iteration (address generation, load,
 /// loop overhead).
 const INSTR_PER_OP: u64 = 12;
 /// Non-memory cycles per iteration.
 const COMPUTE_CYCLES: u64 = 6;
+
+/// Cap on addresses generated per batched window (bounds scratch memory;
+/// epoch chunk budgets keep real windows far below this).
+const WINDOW_CAP: u64 = 4096;
 
 /// X-Mem with the random-read access pattern.
 ///
@@ -28,6 +32,9 @@ pub struct XMem {
     state: u64,
     ops: u64,
     latency: LatencySampler,
+    /// Scratch for batched windows (reused across slices).
+    ops_buf: Vec<(u64, CoreOp)>,
+    costs_buf: Vec<u32>,
 }
 
 impl XMem {
@@ -44,6 +51,8 @@ impl XMem {
             state: seed | 1,
             ops: 0,
             latency: LatencySampler::new(seed ^ 0xA5A5),
+            ops_buf: Vec::new(),
+            costs_buf: Vec::new(),
         }
     }
 
@@ -90,14 +99,46 @@ impl Workload for XMem {
         let lines = self.working_set / LINE_BYTES;
         let mut used = 0u64;
         let mut instructions = 0u64;
-        while used < ctx.cycle_budget {
-            let line = self.next_rand() % lines;
-            let cost = ctx.read(self.base + line * LINE_BYTES) as u64 + COMPUTE_CYCLES;
-            used += cost;
-            instructions += INSTR_PER_OP;
-            self.ops += 1;
-            self.latency.record(cost);
+        if !ctx.batching() {
+            // Serial reference oracle (`--slice-workers 0`).
+            while used < ctx.cycle_budget {
+                let line = self.next_rand() % lines;
+                let cost = ctx.read(self.base + line * LINE_BYTES) as u64 + COMPUTE_CYCLES;
+                used += cost;
+                instructions += INSTR_PER_OP;
+                self.ops += 1;
+                self.latency.record(cost);
+            }
+            return ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) };
         }
+        // Batched windows. With `left` budget remaining, the serial loop is
+        // guaranteed to run at least `ceil(left / max_cost)` more
+        // iterations (each costs at most `max_cost`), and the addresses do
+        // not depend on access outcomes — so that window can be generated
+        // up front and resolved in one slice-bucketed flush, bit-identical
+        // to the serial schedule.
+        let max_cost = ctx.max_access_cycles() as u64 + COMPUTE_CYCLES;
+        let mut ops_buf = std::mem::take(&mut self.ops_buf);
+        let mut costs = std::mem::take(&mut self.costs_buf);
+        while used < ctx.cycle_budget {
+            let left = ctx.cycle_budget - used;
+            let k = left.div_ceil(max_cost).min(WINDOW_CAP);
+            ops_buf.clear();
+            for _ in 0..k {
+                let line = self.next_rand() % lines;
+                ops_buf.push((self.base + line * LINE_BYTES, CoreOp::Read));
+            }
+            ctx.access_batch(&ops_buf, &mut costs);
+            for &c in &costs {
+                let cost = c as u64 + COMPUTE_CYCLES;
+                used += cost;
+                instructions += INSTR_PER_OP;
+                self.ops += 1;
+                self.latency.record(cost);
+            }
+        }
+        self.ops_buf = ops_buf;
+        self.costs_buf = costs;
         ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) }
     }
 
