@@ -5,10 +5,19 @@
 //! rules in `iat_runner`); `--smoke` runs the cheap deterministic subset
 //! and byte-compares it against the committed captures, which is the CI
 //! stale-results guard.
+//!
+//! `--sampled` runs the phase-aware interval-sampling sweep instead:
+//! figures that declare a sampling level execute only a warmed measured
+//! window per interval and extrapolate the rest. Sampled captures land in
+//! `results/sampled/` (gitignored — the committed captures stay exact),
+//! and every sampled figure's headline metric is checked against the
+//! committed exact capture; a bound violation *or* a silent fallback to
+//! exact execution (zero skipped epochs) fails the run.
 
 use iat_runner::{
-    bench_report, check_outputs, expected_costs, history_record, parse_args, print_summary,
-    progress, run, validate_history, write_outputs, USAGE,
+    attach_sample_errors, bench_report, check_outputs, expected_costs, history_record, parse_args,
+    print_summary, progress, run, trajectory_eligible, trajectory_update, validate_history,
+    validate_trajectory, write_outputs, USAGE,
 };
 use std::path::Path;
 
@@ -24,6 +33,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if cli.opts.sampled && cli.check {
+        eprintln!("error: --check is exact-only (sampled captures never match the committed exact bytes)\n\n{USAGE}");
+        std::process::exit(2);
+    }
 
     let reg = iat_bench::jobs::registry();
     if cli.list {
@@ -33,20 +46,27 @@ fn main() {
         return;
     }
 
-    let dir = Path::new("results");
+    let exact_dir = Path::new("results");
+    // Sampled sweeps write to a gitignored side directory so they can
+    // never clobber the committed exact captures they are graded against.
+    let dir = if cli.opts.sampled {
+        Path::new("results/sampled")
+    } else {
+        exact_dir
+    };
     let bench_path = dir.join("BENCH_repro.json");
 
-    // Seed longest-expected-first scheduling from the previous run's
+    // Seed longest-expected-first scheduling from the previous exact run's
     // per-figure costs, when a report exists. Scheduling only — output
     // bytes are identical with or without the hint.
-    if let Ok(text) = std::fs::read_to_string(&bench_path) {
+    if let Ok(text) = std::fs::read_to_string(exact_dir.join("BENCH_repro.json")) {
         if let Ok(doc) = serde_json::from_str(&text) {
             cli.opts.expected_costs = expected_costs(&doc);
         }
     }
 
     progress(&format!(
-        "repro: {} worker(s), seed {}{}{}{}",
+        "repro: {} worker(s), seed {}{}{}{}{}",
         cli.opts.jobs,
         cli.opts.root_seed,
         match cli.opts.slice_workers {
@@ -54,6 +74,7 @@ fn main() {
             Some(0) => ", serial oracle".to_owned(),
             Some(n) => format!(", {n} slice worker(s)"),
         },
+        if cli.opts.sampled { ", sampled" } else { "" },
         if cli.opts.smoke { ", smoke subset" } else { "" },
         if cli.check { ", check mode" } else { "" },
     ));
@@ -76,18 +97,79 @@ fn main() {
             exit = 1;
         }
     } else if let Err(e) = write_outputs(&out, dir) {
-        progress(&format!("error: writing results/: {e}"));
+        progress(&format!("error: writing {}: {e}", dir.display()));
         exit = 1;
     }
 
-    print_summary(&out);
+    print_summary(&out, &cli.opts.expected_costs);
+
+    // Sampled runs are graded against the committed exact captures: every
+    // declared figure's headline metric must land within its error bound,
+    // and must actually have skipped epochs (a sampled run that silently
+    // fell back to exact execution proves nothing about the error bound).
+    let mut headlines: Vec<(String, f64, f64)> = Vec::new();
+    if cli.opts.sampled {
+        match iat_bench::sampling::evaluate_sampled(&out, exact_dir) {
+            Ok(checks) => {
+                progress("sampled vs committed exact headline metrics:");
+                progress(&format!(
+                    "  {:<10} {:>12} {:>12} {:>8} {:>7} {:>9} {:>8}",
+                    "figure", "exact", "sampled", "err%", "bound%", "skipped", "wall s"
+                ));
+                for c in &checks {
+                    progress(&format!(
+                        "  {:<10} {:>12.4} {:>12.4} {:>8.3} {:>7.1} {:>9} {:>8.2}{}",
+                        c.figure,
+                        c.exact,
+                        c.sampled,
+                        c.error_pct,
+                        c.bound_pct,
+                        c.skipped_epochs,
+                        c.wall_s,
+                        if c.ok() {
+                            ""
+                        } else if c.skipped_epochs == 0 {
+                            "  [FALLBACK]"
+                        } else {
+                            "  [OUT OF BOUNDS]"
+                        },
+                    ));
+                }
+                for c in &checks {
+                    if !c.ok() {
+                        if c.skipped_epochs == 0 {
+                            progress(&format!(
+                                "error: {}: sampled run skipped no epochs (silent exact fallback)",
+                                c.figure
+                            ));
+                        } else {
+                            progress(&format!(
+                                "error: {}: headline error {:.3}% exceeds the {:.1}% bound",
+                                c.figure, c.error_pct, c.bound_pct
+                            ));
+                        }
+                        exit = 1;
+                    }
+                }
+                headlines = checks
+                    .iter()
+                    .map(|c| (c.figure.clone(), c.exact, c.sampled))
+                    .collect();
+            }
+            Err(e) => {
+                progress(&format!("error: sampled evaluation: {e}"));
+                exit = 1;
+            }
+        }
+    }
 
     // The wall-clock bench report. Written on every run — including
     // `--check` and `--smoke` — but never staged through the job files,
     // so it is exempt from the byte-compare above (timings vary run to
     // run; the schema is what CI validates).
     let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
-    let report = bench_report(&out, &cli.opts, profile);
+    let mut report = bench_report(&out, &cli.opts, profile);
+    attach_sample_errors(&mut report, &headlines);
     let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
     match std::fs::create_dir_all(dir)
         .and_then(|()| std::fs::write(&bench_path, format!("{json}\n")))
@@ -103,16 +185,41 @@ fn main() {
     // — wall clock is machine-local) so perf work can see its own trajectory.
     let line = history_record(&report);
     validate_history(&line).expect("self-emitted history line validates");
-    let history_path = dir.join("BENCH_history.jsonl");
+    let history_path = exact_dir.join("BENCH_history.jsonl");
     let line = format!("{line}\n");
-    if let Err(e) = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&history_path)
-        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()))
-    {
+    if let Err(e) = std::fs::create_dir_all(exact_dir).and_then(|()| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history_path)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()))
+    }) {
         progress(&format!("error: appending {}: {e}", history_path.display()));
         exit = 1;
+    }
+
+    // Full exact all-ok runs also refresh the committed PR-level trajectory
+    // (deduplicated on the run fingerprint, capped — see iat_runner). Check
+    // mode regenerates but does not write, so it stays read-only here too.
+    if !cli.check && trajectory_eligible(&report, &cli.opts) {
+        let trajectory_path = exact_dir.join("BENCH_trajectory.json");
+        let prev = std::fs::read_to_string(&trajectory_path)
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok())
+            .unwrap_or(serde_json::Value::Null);
+        let doc = trajectory_update(&prev, &report);
+        validate_trajectory(&doc).expect("self-emitted trajectory validates");
+        let json = serde_json::to_string_pretty(&doc).expect("trajectory serializes");
+        match std::fs::write(&trajectory_path, format!("{json}\n")) {
+            Ok(()) => progress(&format!("wrote {}", trajectory_path.display())),
+            Err(e) => {
+                progress(&format!(
+                    "error: writing {}: {e}",
+                    trajectory_path.display()
+                ));
+                exit = 1;
+            }
+        }
     }
 
     for r in &out.reports {

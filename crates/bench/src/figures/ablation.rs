@@ -146,11 +146,10 @@ pub(crate) fn register(reg: &mut Registry) {
         .iter()
         .map(|c| format!("ablation/{}", c.slug))
         .collect();
+    let spec = crate::sampling::spec_for("ablation").expect("ablation declares sampling");
     for case in cases() {
-        reg.add(JobSpec::new(
-            format!("ablation/{}", case.slug),
-            "ablation",
-            move |ctx| {
+        reg.add(
+            JobSpec::new(format!("ablation/{}", case.slug), "ablation", move |ctx| {
                 let (intervals, mops) =
                     reaction(case.flags, case.threshold_stable, ctx.seed("scenario"));
                 record_accesses(ctx, take_sim_accesses());
@@ -160,8 +159,9 @@ pub(crate) fn register(reg: &mut Registry) {
                         "variant": case.name, "intervals_to_4_ways": intervals, "pc4_mops": mops,
                     }),
                 )]))
-            },
-        ));
+            })
+            .sampled(spec),
+        );
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();
     reg.add(

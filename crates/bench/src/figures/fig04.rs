@@ -63,16 +63,16 @@ pub(crate) fn register(reg: &mut Registry) {
         .iter()
         .map(|ws| format!("fig04/{}MB", ws >> 20))
         .collect();
+    let spec = crate::sampling::spec_for("fig04").expect("fig04 declares sampling");
     for &ws in &working_sets {
-        reg.add(JobSpec::new(
-            format!("fig04/{}MB", ws >> 20),
-            "fig04",
-            move |ctx| {
+        reg.add(
+            JobSpec::new(format!("fig04/{}MB", ws >> 20), "fig04", move |ctx| {
                 let (rows, record) = contend(ws, ctx.seed("scenario"));
                 record_accesses(ctx, take_sim_accesses());
                 Ok(json!({ "rows": rows, "record": record }))
-            },
-        ));
+            })
+            .sampled(spec),
+        );
     }
     reg.add(
         JobSpec::new("fig04", "fig04", move |ctx| {

@@ -72,16 +72,16 @@ fn sweep(size: u32, seed: u64) -> Vec<(Vec<String>, Value)> {
 
 pub(crate) fn register(reg: &mut Registry) {
     let leaves: Vec<String> = SIZES.iter().map(|s| format!("fig08/{s}B")).collect();
+    let spec = crate::sampling::spec_for("fig08").expect("fig08 declares sampling");
     for &size in &SIZES {
-        reg.add(JobSpec::new(
-            format!("fig08/{size}B"),
-            "fig08",
-            move |ctx| {
+        reg.add(
+            JobSpec::new(format!("fig08/{size}B"), "fig08", move |ctx| {
                 let rows = sweep(size, ctx.seed("scenario"));
                 record_accesses(ctx, take_sim_accesses());
                 Ok(rows_artifact(rows))
-            },
-        ));
+            })
+            .sampled(spec),
+        );
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();
     reg.add(

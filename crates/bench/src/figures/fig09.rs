@@ -65,16 +65,16 @@ fn sweep(flows: u32, seed: u64) -> Vec<(Vec<String>, Value)> {
 
 pub(crate) fn register(reg: &mut Registry) {
     let leaves: Vec<String> = FLOW_COUNTS.iter().map(|n| format!("fig09/{n}f")).collect();
+    let spec = crate::sampling::spec_for("fig09").expect("fig09 declares sampling");
     for &flows in &FLOW_COUNTS {
-        reg.add(JobSpec::new(
-            format!("fig09/{flows}f"),
-            "fig09",
-            move |ctx| {
+        reg.add(
+            JobSpec::new(format!("fig09/{flows}f"), "fig09", move |ctx| {
                 let rows = sweep(flows, ctx.seed("scenario"));
                 record_accesses(ctx, take_sim_accesses());
                 Ok(rows_artifact(rows))
-            },
-        ));
+            })
+            .sampled(spec),
+        );
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();
     reg.add(

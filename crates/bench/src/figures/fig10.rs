@@ -91,12 +91,16 @@ fn sweep(pkt: u32, seed: u64) -> Value {
 
 pub(crate) fn register(reg: &mut Registry) {
     let leaves: Vec<String> = SIZES.iter().map(|s| format!("fig10/{s}B")).collect();
+    let spec = crate::sampling::spec_for("fig10").expect("fig10 declares sampling");
     for &pkt in &SIZES {
-        reg.add(JobSpec::new(format!("fig10/{pkt}B"), "fig10", move |ctx| {
-            let cases = sweep(pkt, ctx.seed("scenario"));
-            record_accesses(ctx, take_sim_accesses());
-            Ok(cases)
-        }));
+        reg.add(
+            JobSpec::new(format!("fig10/{pkt}B"), "fig10", move |ctx| {
+                let cases = sweep(pkt, ctx.seed("scenario"));
+                record_accesses(ctx, take_sim_accesses());
+                Ok(cases)
+            })
+            .sampled(spec),
+        );
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();
     reg.add(

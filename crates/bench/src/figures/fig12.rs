@@ -85,16 +85,16 @@ pub(crate) fn register(reg: &mut Registry) {
         .iter()
         .map(|(name, _)| format!("fig12/{name}"))
         .collect();
+    let spec = crate::sampling::spec_for("fig12").expect("fig12 declares sampling");
     for (pc_name, pc) in pc_apps() {
-        reg.add(JobSpec::new(
-            format!("fig12/{pc_name}"),
-            "fig12",
-            move |ctx| {
+        reg.add(
+            JobSpec::new(format!("fig12/{pc_name}"), "fig12", move |ctx| {
                 let rows = sweep(&pc_name, pc, ctx.seed("scenario"));
                 record_accesses(ctx, take_sim_accesses());
                 Ok(rows_artifact(rows))
-            },
-        ));
+            })
+            .sampled(spec),
+        );
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();
     reg.add(

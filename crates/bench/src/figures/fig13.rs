@@ -62,16 +62,16 @@ pub(crate) fn register(reg: &mut Registry) {
         .iter()
         .map(|mix| format!("fig13/{}", mix.name))
         .collect();
+    let spec = crate::sampling::spec_for("fig13").expect("fig13 declares sampling");
     for mix in YcsbMix::all() {
-        reg.add(JobSpec::new(
-            format!("fig13/{}", mix.name),
-            "fig13",
-            move |ctx| {
+        reg.add(
+            JobSpec::new(format!("fig13/{}", mix.name), "fig13", move |ctx| {
                 let rows = sweep(mix, ctx.seed("scenario"));
                 record_accesses(ctx, take_sim_accesses());
                 Ok(rows_artifact(rows))
-            },
-        ));
+            })
+            .sampled(spec),
+        );
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();
     reg.add(

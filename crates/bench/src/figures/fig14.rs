@@ -91,16 +91,16 @@ pub(crate) fn register(reg: &mut Registry) {
         .iter()
         .map(|mix| format!("fig14/{}", mix.name))
         .collect();
+    let spec = crate::sampling::spec_for("fig14").expect("fig14 declares sampling");
     for mix in YcsbMix::all() {
-        reg.add(JobSpec::new(
-            format!("fig14/{}", mix.name),
-            "fig14",
-            move |ctx| {
+        reg.add(
+            JobSpec::new(format!("fig14/{}", mix.name), "fig14", move |ctx| {
                 let rows = sweep(mix, ctx.seed("scenario"));
                 record_accesses(ctx, take_sim_accesses());
                 Ok(rows_artifact(rows))
-            },
-        ));
+            })
+            .sampled(spec),
+        );
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();
     reg.add(

@@ -4,9 +4,9 @@
 use iat::{LlcPolicy, StepReport, TenantInfo};
 use iat_perf::{DdioSampleMode, IntervalDeltas, Monitor, Poll};
 use iat_platform::Platform;
-use iat_telemetry::{Recorder, Stamp};
+use iat_telemetry::{Event, Recorder, Stamp};
 
-pub use iat_platform::take_sim_accesses;
+pub use iat_platform::{take_sim_accesses, take_skipped_epochs};
 
 /// A platform under management by an LLC policy.
 ///
@@ -23,6 +23,12 @@ pub struct Managed {
     intervals: u64,
     last_poll: Option<Poll>,
     last_report: Option<StepReport>,
+    /// Sampled mode: the previous interval's *raw* cumulative poll, the
+    /// running *extrapolated* cumulative poll handed to the policy, and
+    /// the platform's measured-epoch total at the last interval end.
+    raw_prev: Option<Poll>,
+    extrap: Option<Poll>,
+    measured_base: u64,
 }
 
 impl Managed {
@@ -47,6 +53,9 @@ impl Managed {
             intervals: 0,
             last_poll: None,
             last_report: None,
+            raw_prev: None,
+            extrap: None,
+            measured_base: 0,
         }
     }
 
@@ -78,16 +87,99 @@ impl Managed {
             iter: self.intervals,
             time_ns: self.platform.time_ns(),
         };
+        for b in self.platform.take_phase_boundaries() {
+            if rec.enabled() {
+                rec.record(Event::PhaseBoundary {
+                    stamp,
+                    interval: b.interval,
+                    phase: b.phase,
+                    novel: b.novel,
+                });
+            }
+        }
         let poll = self
             .monitor
             .poll_traced(self.platform.llc(), self.platform.bank(), stamp, rec);
         self.last_poll = Some(poll.clone());
         self.platform.sweep_nic_telemetry(stamp, rec);
+        let policy_poll = if self.platform.sampled() {
+            self.extrapolate(poll)
+        } else {
+            poll
+        };
         let report = self
             .policy
-            .step_traced(self.platform.rdt_mut(), poll, stamp.time_ns, rec);
+            .step_traced(self.platform.rdt_mut(), policy_poll, stamp.time_ns, rec);
         self.last_report = Some(report);
         report
+    }
+
+    /// Converts one raw cumulative poll into the extrapolated cumulative
+    /// poll the policy sees under sampling.
+    ///
+    /// The policy diffs consecutive cumulative polls and divides by its
+    /// fixed 1 s sleep interval, so under sampling — where only the
+    /// measured tail of each interval accrues counters — raw deltas would
+    /// read `measured/interval_len` times too low. Each interval's raw
+    /// delta is therefore scaled by `interval_len / measured_this_interval`
+    /// (integer arithmetic, deterministic) and accumulated into a synthetic
+    /// cumulative poll whose deltas are unbiased estimates of full-fidelity
+    /// interval deltas.
+    fn extrapolate(&mut self, raw: Poll) -> Poll {
+        let measured = self.platform.measured_epochs().unwrap_or(0);
+        let dm = (measured - self.measured_base).max(1);
+        self.measured_base = measured;
+        let nominal = self.epochs_per_interval as u64;
+        let scale = |cur: u64, prev: u64| cur.saturating_sub(prev) * nominal / dm;
+
+        let prev = self.raw_prev.take();
+        let prev_tenant = |agent: iat_cachesim::AgentId| {
+            prev.as_ref().and_then(|p| p.tenants.iter().find(|t| t.agent == agent).copied())
+        };
+        let extrap_tenant = |agent: iat_cachesim::AgentId| {
+            self.extrap
+                .as_ref()
+                .and_then(|p| p.tenants.iter().find(|t| t.agent == agent).copied())
+        };
+
+        let mut out = raw.clone();
+        for t in &mut out.tenants {
+            let p = prev_tenant(t.agent).unwrap_or(iat_perf::TenantSample {
+                agent: t.agent,
+                core: Default::default(),
+                llc_references: 0,
+                llc_misses: 0,
+            });
+            let e = extrap_tenant(t.agent);
+            let (ei, ec, er, em) = e.map_or((0, 0, 0, 0), |e| {
+                (e.core.instructions, e.core.cycles, e.llc_references, e.llc_misses)
+            });
+            t.core.instructions = ei + scale(t.core.instructions, p.core.instructions);
+            t.core.cycles = ec + scale(t.core.cycles, p.core.cycles);
+            t.llc_references = er + scale(t.llc_references, p.llc_references);
+            t.llc_misses = em + scale(t.llc_misses, p.llc_misses);
+        }
+        let (ps, es) = (
+            prev.as_ref().map(|p| p.system),
+            self.extrap.as_ref().map(|p| p.system),
+        );
+        let z = iat_perf::SystemSample {
+            ddio_hits: 0,
+            ddio_misses: 0,
+            mem_read_bytes: 0,
+            mem_write_bytes: 0,
+        };
+        let (ps, es) = (ps.unwrap_or(z), es.unwrap_or(z));
+        out.system.ddio_hits = es.ddio_hits + scale(raw.system.ddio_hits, ps.ddio_hits);
+        out.system.ddio_misses = es.ddio_misses + scale(raw.system.ddio_misses, ps.ddio_misses);
+        out.system.mem_read_bytes =
+            es.mem_read_bytes + scale(raw.system.mem_read_bytes, ps.mem_read_bytes);
+        out.system.mem_write_bytes =
+            es.mem_write_bytes + scale(raw.system.mem_write_bytes, ps.mem_write_bytes);
+
+        self.raw_prev = Some(raw);
+        self.extrap = Some(out.clone());
+        out
     }
 
     /// Runs `n` intervals.

@@ -24,6 +24,7 @@ mod figures;
 pub mod harness;
 pub mod jobs;
 pub mod report;
+pub mod sampling;
 pub mod scenarios;
 
 pub use harness::Managed;

@@ -105,6 +105,107 @@ pub fn release_slot() {
     SLOTS_USED.fetch_sub(1, Ordering::Relaxed);
 }
 
+// --- Sampled-execution knob -------------------------------------------------
+//
+// Phase-aware interval sampling (`repro --sampled`) is a per-job decision:
+// the runner enables it on the worker thread before a sampling-eligible job
+// body runs and disables it afterwards, so parallel jobs with different
+// eligibility never interfere. The knob lives here — the lowest crate in the
+// dependency graph — because both the runner (which sets it) and the
+// platform (which reads it when constructing a simulation) already depend on
+// `iat-cachesim`, while neither depends on the other.
+
+/// How aggressively a sampled run may skip epochs for a given job.
+///
+/// A level is a named preset over [`SamplingSpec`]; figures that need a
+/// custom trade-off start from a preset and override fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingLevel {
+    /// Default plan: suitable for rate/throughput headline metrics.
+    Standard,
+    /// Larger measured fraction plus cold-start warming: for jobs whose
+    /// outputs feed back into control decisions with discrete outcomes
+    /// (e.g. convergence-time counts) or whose headline metric depends on
+    /// converged cache contents, where extrapolation noise is costlier.
+    Conservative,
+}
+
+impl SamplingLevel {
+    /// The preset plan behind this level.
+    pub fn spec(self) -> SamplingSpec {
+        match self {
+            SamplingLevel::Standard => SamplingSpec {
+                level: self,
+                stable_warm_pct: 2,
+                stable_measure_pct: 5,
+                boost_warm_pct: 8,
+                boost_measure_pct: 22,
+                cold_start_epochs: 0,
+                reconverge_epochs: 60,
+            },
+            SamplingLevel::Conservative => SamplingSpec {
+                level: self,
+                stable_warm_pct: 4,
+                stable_measure_pct: 10,
+                boost_warm_pct: 10,
+                boost_measure_pct: 25,
+                cold_start_epochs: 150,
+                reconverge_epochs: 120,
+            },
+        }
+    }
+}
+
+/// Concrete per-job sampling plan: what fraction of each interval runs
+/// (functionally or measured), and how many *extra* functional-warmup
+/// epochs are spent re-converging cache state at simulation start and
+/// after events that invalidate it.
+///
+/// Percentages are of one interval (`epochs_per_second` epochs); the
+/// remainder of each interval fast-forwards. `cold_start_epochs` converts
+/// that many fast-forward epochs into functional warmup at the start of a
+/// simulation (cache fill); `reconverge_epochs` does the same after an
+/// allocation capacity change (ways granted/revoked, DDIO resize) or a
+/// newly-detected workload phase, both of which leave the cache contents
+/// unrepresentative of the new steady state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingSpec {
+    /// The preset this spec was derived from (reporting only).
+    pub level: SamplingLevel,
+    /// Warm share of a stable-phase interval, in percent.
+    pub stable_warm_pct: u8,
+    /// Measured share of a stable-phase interval, in percent.
+    pub stable_measure_pct: u8,
+    /// Warm share of a boost (new/unstable phase) interval, in percent.
+    pub boost_warm_pct: u8,
+    /// Measured share of a boost interval, in percent.
+    pub boost_measure_pct: u8,
+    /// Forced functional-warmup epochs at simulation start.
+    pub cold_start_epochs: u16,
+    /// Forced functional-warmup epochs after a capacity event or novel
+    /// phase.
+    pub reconverge_epochs: u16,
+}
+
+std::thread_local! {
+    /// Sampling spec for simulations constructed on this thread
+    /// (`None` = exact execution, the oracle).
+    static SAMPLING: std::cell::Cell<Option<SamplingSpec>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Sets (or clears) the sampling spec for simulations subsequently
+/// constructed on this thread. The runner brackets each eligible job body
+/// with `set_thread_sampling(Some(spec))` / `set_thread_sampling(None)`.
+pub fn set_thread_sampling(spec: Option<SamplingSpec>) {
+    SAMPLING.with(|s| s.set(spec));
+}
+
+/// The sampling spec in effect on this thread, if any.
+pub fn thread_sampling() -> Option<SamplingSpec> {
+    SAMPLING.with(|s| s.get())
+}
+
 /// Number of workers the next batch flush may use, including the calling
 /// thread. Always at least 1.
 #[inline]

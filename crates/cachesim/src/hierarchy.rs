@@ -265,6 +265,25 @@ impl MemoryHierarchy {
     pub fn reset_stats(&mut self) {
         self.llc.reset_stats();
     }
+
+    /// Switches the LLC's statistic accrual on or off (functional-warmup
+    /// mode for sampled execution). See [`Llc::set_stats_frozen`]. L2 hit
+    /// and access counters stay live either way: they feed the simulator
+    /// work counter ([`MemoryHierarchy::accesses`]), not measured metrics.
+    pub fn set_stats_frozen(&mut self, frozen: bool) {
+        self.llc.set_stats_frozen(frozen);
+    }
+
+    /// Whether LLC statistic accrual is currently frozen.
+    pub fn stats_frozen(&self) -> bool {
+        self.llc.stats_frozen()
+    }
+
+    /// Recounts per-agent LLC occupancy from the resident lines (stale
+    /// after a frozen span). See [`Llc::repair_occupancy`].
+    pub fn repair_occupancy(&mut self) {
+        self.llc.repair_occupancy();
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,7 @@ use crate::config;
 use crate::geometry::CacheGeometry;
 use crate::mask::WayMask;
 use crate::memory::MemCounters;
-use crate::shard::{BatchEntry, BatchKind, DirectSink, SliceShard};
+use crate::shard::{BatchEntry, BatchKind, DirectSink, FrozenSink, SliceShard};
 use crate::stats::{AccessOutcome, IoOutcome, LlcStats};
 use crate::line_of;
 
@@ -95,6 +95,10 @@ pub struct Llc {
     /// `true` when every queued entry has been resolved (results readable);
     /// the next enqueue starts a fresh batch.
     flushed: bool,
+    /// Warmup mode: operations mutate the cache body (tags, LRU ranks,
+    /// owners, dirty bits, valid lines) exactly as normal but accrue no
+    /// statistics or memory counters. See [`Llc::set_stats_frozen`].
+    stats_frozen: bool,
 }
 
 impl Llc {
@@ -113,7 +117,36 @@ impl Llc {
             mem: MemCounters::new(),
             pending_ops: 0,
             flushed: true,
+            stats_frozen: false,
         }
+    }
+
+    /// Switches statistic accrual on or off (functional-warmup mode).
+    ///
+    /// While frozen, every access path — serial and batched — performs the
+    /// same probes, victim choices and installs as normal (the cache body
+    /// evolves bit-identically), but no references, misses, evictions,
+    /// occupancy changes, DDIO counts or memory traffic are recorded. The
+    /// valid-line count and the [`Llc::accesses`] work counter stay live:
+    /// both describe what the simulator *did*, not what it *measured*.
+    ///
+    /// The sampled execution path uses this to warm the tag array between
+    /// measured windows. Per-agent occupancy is a statistic, so it goes
+    /// stale across frozen spans; [`Llc::reset_stats`] recomputes it from
+    /// the resident lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if toggled with a batch pending (the flush
+    /// must accrue under the mode its operations were enqueued in).
+    pub fn set_stats_frozen(&mut self, frozen: bool) {
+        debug_assert_eq!(self.pending_ops, 0, "set_stats_frozen with unflushed batch");
+        self.stats_frozen = frozen;
+    }
+
+    /// Whether statistic accrual is currently frozen.
+    pub fn stats_frozen(&self) -> bool {
+        self.stats_frozen
     }
 
     /// The cache's geometry.
@@ -149,6 +182,34 @@ impl Llc {
         // Shard-major, set-ascending: the same scan order as the pre-shard
         // global layout (global set index was `slice * sets_per_slice +
         // set`), so agent re-registration order is unchanged.
+        for shard in &self.shards {
+            for set in 0..shard.store.sets() {
+                let mut m = shard.store.valid_bits(set);
+                while m != 0 {
+                    let w = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let owner = AgentId::from_bits(shard.store.owner_bits(set, w));
+                    self.stats.agent_mut(owner).occupancy_lines += 1;
+                }
+            }
+        }
+    }
+
+    /// Recomputes per-agent occupancy from the resident lines, leaving
+    /// every other statistic untouched.
+    ///
+    /// Occupancy is a property of the cache *contents*, but it is tracked
+    /// through statistic events, so it goes stale across a frozen
+    /// (functional-warmup) span. The sampled execution path calls this at
+    /// every warm→measure transition: measurement then starts from exact
+    /// occupancy, and since measured spans track every install and
+    /// eviction, occupancy stays exact (and non-negative) for the whole
+    /// measured window — on the serial and the batched path alike, because
+    /// the recount scans contents in a fixed shard-major, set-ascending
+    /// order.
+    pub fn repair_occupancy(&mut self) {
+        debug_assert_eq!(self.pending_ops, 0, "repair_occupancy with unflushed batch");
+        self.stats.clear_occupancy();
         for shard in &self.shards {
             for set in 0..shard.store.sets() {
                 let mut m = shard.store.valid_bits(set);
@@ -203,21 +264,35 @@ impl Llc {
         self.accesses += 1;
         let tag = line_of(addr);
         let (slice, set) = self.locate(addr);
-        let mut sink = DirectSink {
-            stats: &mut self.stats,
-            mem: &mut self.mem,
-            valid_count: &mut self.valid_count,
-            slice,
+        let write = op == CoreOp::Write;
+        let (hit, writeback) = if self.stats_frozen {
+            let mut sink = FrozenSink { valid_count: &mut self.valid_count };
+            self.shards[slice].store.core_access(
+                set,
+                agent.to_bits(),
+                alloc_mask.bits(),
+                tag,
+                write,
+                0,
+                &mut sink,
+            )
+        } else {
+            let mut sink = DirectSink {
+                stats: &mut self.stats,
+                mem: &mut self.mem,
+                valid_count: &mut self.valid_count,
+                slice,
+            };
+            self.shards[slice].store.core_access(
+                set,
+                agent.to_bits(),
+                alloc_mask.bits(),
+                tag,
+                write,
+                0,
+                &mut sink,
+            )
         };
-        let (hit, writeback) = self.shards[slice].store.core_access(
-            set,
-            agent.to_bits(),
-            alloc_mask.bits(),
-            tag,
-            op == CoreOp::Write,
-            0,
-            &mut sink,
-        );
         if hit {
             AccessOutcome::Hit
         } else {
@@ -235,20 +310,32 @@ impl Llc {
         self.accesses += 1;
         let tag = line_of(addr);
         let (slice, set) = self.locate(addr);
-        let mut sink = DirectSink {
-            stats: &mut self.stats,
-            mem: &mut self.mem,
-            valid_count: &mut self.valid_count,
-            slice,
-        };
-        self.shards[slice].store.core_writeback(
-            set,
-            agent.to_bits(),
-            alloc_mask.bits(),
-            tag,
-            0,
-            &mut sink,
-        );
+        if self.stats_frozen {
+            let mut sink = FrozenSink { valid_count: &mut self.valid_count };
+            self.shards[slice].store.core_writeback(
+                set,
+                agent.to_bits(),
+                alloc_mask.bits(),
+                tag,
+                0,
+                &mut sink,
+            );
+        } else {
+            let mut sink = DirectSink {
+                stats: &mut self.stats,
+                mem: &mut self.mem,
+                valid_count: &mut self.valid_count,
+                slice,
+            };
+            self.shards[slice].store.core_writeback(
+                set,
+                agent.to_bits(),
+                alloc_mask.bits(),
+                tag,
+                0,
+                &mut sink,
+            );
+        }
     }
 
     /// Inbound DDIO write (device-to-host DMA) of one cache line.
@@ -265,14 +352,18 @@ impl Llc {
         self.accesses += 1;
         let tag = line_of(addr);
         let (slice, set) = self.locate(addr);
-        let mut sink = DirectSink {
-            stats: &mut self.stats,
-            mem: &mut self.mem,
-            valid_count: &mut self.valid_count,
-            slice,
+        let (hit, writeback) = if self.stats_frozen {
+            let mut sink = FrozenSink { valid_count: &mut self.valid_count };
+            self.shards[slice].store.io_write(set, ddio_mask.bits(), tag, 0, &mut sink)
+        } else {
+            let mut sink = DirectSink {
+                stats: &mut self.stats,
+                mem: &mut self.mem,
+                valid_count: &mut self.valid_count,
+                slice,
+            };
+            self.shards[slice].store.io_write(set, ddio_mask.bits(), tag, 0, &mut sink)
         };
-        let (hit, writeback) =
-            self.shards[slice].store.io_write(set, ddio_mask.bits(), tag, 0, &mut sink);
         if hit {
             IoOutcome::WriteUpdate
         } else {
@@ -289,13 +380,19 @@ impl Llc {
         debug_assert_eq!(self.pending_ops, 0, "serial access with unflushed batch");
         self.accesses += 1;
         let (slice, set) = self.locate(addr);
-        let mut sink = DirectSink {
-            stats: &mut self.stats,
-            mem: &mut self.mem,
-            valid_count: &mut self.valid_count,
-            slice,
+        let hit = if self.stats_frozen {
+            let mut sink = FrozenSink { valid_count: &mut self.valid_count };
+            self.shards[slice].store.io_read(set, line_of(addr), &mut sink)
+        } else {
+            let mut sink = DirectSink {
+                stats: &mut self.stats,
+                mem: &mut self.mem,
+                valid_count: &mut self.valid_count,
+                slice,
+            };
+            self.shards[slice].store.io_read(set, line_of(addr), &mut sink)
         };
-        if self.shards[slice].store.io_read(set, line_of(addr), &mut sink) {
+        if hit {
             IoOutcome::ReadHit
         } else {
             IoOutcome::ReadMiss
@@ -459,6 +556,19 @@ impl Llc {
     /// only tie within one operation), exactly reproducing the serial
     /// registration sequence.
     fn merge_deltas(&mut self) {
+        if self.stats_frozen {
+            // Warmup flush: the cache body already mutated in place during
+            // `process()`; of the delta only the valid-line count describes
+            // contents rather than events, so everything else is dropped
+            // (including first-touch agent registration). Per-agent
+            // occupancy goes stale across the frozen span by design —
+            // [`Llc::repair_occupancy`] recounts it before measurement.
+            for shard in &mut self.shards {
+                self.valid_count += shard.delta.lines_added;
+                shard.delta.clear();
+            }
+            return;
+        }
         let mut new_agents: Vec<(u32, u32, u16)> = Vec::new();
         for shard in &self.shards {
             for (i, (bits, d)) in shard.delta.agents.iter().enumerate() {
@@ -717,6 +827,107 @@ mod tests {
         assert_eq!(llc.accesses(), 4);
         llc.reset_stats();
         assert_eq!(llc.accesses(), 4, "accesses survives reset_stats");
+    }
+
+    /// A frozen (warmup) span must evolve the cache body bit-identically
+    /// to an unfrozen run while leaving every statistic untouched, on both
+    /// the serial and the batched path.
+    #[test]
+    fn frozen_warmup_updates_tags_but_not_stats() {
+        let m = WayMask::all(4);
+        let ddio = WayMask::contiguous(2, 2).unwrap();
+        let addr = |i: u64| (i.wrapping_mul(0x9E37_79B9)) % (1 << 14) * 64;
+        let drive = |llc: &mut Llc, batched: bool, lo: u64, hi: u64| {
+            for i in lo..hi {
+                let a = addr(i);
+                match i % 4 {
+                    0 => {
+                        if batched {
+                            llc.batch_core_access(agent(0), m, a, CoreOp::Write);
+                        } else {
+                            llc.core_access(agent(0), m, a, CoreOp::Write);
+                        }
+                    }
+                    1 => {
+                        if batched {
+                            llc.batch_core_access(agent(1), m, a, CoreOp::Read);
+                        } else {
+                            llc.core_access(agent(1), m, a, CoreOp::Read);
+                        }
+                    }
+                    2 => {
+                        if batched {
+                            llc.batch_io_write(ddio, a);
+                        } else {
+                            llc.io_write(ddio, a);
+                        }
+                    }
+                    _ => {
+                        if batched {
+                            llc.batch_io_read(a);
+                        } else {
+                            llc.io_read(a);
+                        }
+                    }
+                }
+            }
+            if batched {
+                llc.batch_flush();
+            }
+        };
+        for batched in [false, true] {
+            let mut oracle = tiny();
+            let mut frozen = tiny();
+            drive(&mut oracle, batched, 0, 200);
+            drive(&mut frozen, batched, 0, 200);
+            let stats_before: Vec<_> =
+                frozen.stats().agents().map(|(a, s)| (a, *s)).collect();
+            let mem_before = frozen.mem().clone();
+            let evictions_before = frozen.stats().evictions;
+            let slices_before = frozen.stats().slices.clone();
+            frozen.set_stats_frozen(true);
+            drive(&mut oracle, batched, 200, 600);
+            drive(&mut frozen, batched, 200, 600);
+            frozen.set_stats_frozen(false);
+            assert_eq!(
+                oracle.state_digest(),
+                frozen.state_digest(),
+                "frozen span must mutate the cache body identically (batched={batched})"
+            );
+            assert_eq!(oracle.valid_lines(), frozen.valid_lines());
+            assert_eq!(oracle.accesses(), frozen.accesses(), "work counter stays live");
+            let stats_after: Vec<_> =
+                frozen.stats().agents().map(|(a, s)| (a, *s)).collect();
+            assert_eq!(stats_before, stats_after, "stats frozen (batched={batched})");
+            assert_eq!(&mem_before, frozen.mem());
+            assert_eq!(evictions_before, frozen.stats().evictions);
+            assert_eq!(slices_before, frozen.stats().slices);
+            // Accrual resumes seamlessly after unfreezing.
+            let a_new = addr(7);
+            let refs_before = frozen.stats().agent(agent(0)).references;
+            frozen.core_access(agent(0), m, a_new, CoreOp::Read);
+            assert_eq!(frozen.stats().agent(agent(0)).references, refs_before + 1);
+        }
+    }
+
+    /// Occupancy goes stale across a frozen span by design;
+    /// [`Llc::reset_stats`] recomputes it from the resident lines.
+    #[test]
+    fn reset_stats_repairs_occupancy_after_frozen_span() {
+        let mut llc = tiny();
+        let m = WayMask::all(4);
+        for i in 0..50u64 {
+            llc.core_access(agent(0), m, i * 64 * 3, CoreOp::Read);
+        }
+        llc.set_stats_frozen(true);
+        for i in 0..200u64 {
+            llc.core_access(agent(1), m, i * 64 * 5, CoreOp::Read);
+        }
+        llc.set_stats_frozen(false);
+        llc.reset_stats();
+        let total: u64 =
+            llc.stats().agents().map(|(_, s)| s.occupancy_lines).sum();
+        assert_eq!(total, llc.valid_lines(), "occupancy must sum to valid lines");
     }
 
     /// Drives the same op stream through the serial API and the batched

@@ -207,6 +207,38 @@ impl StatsSink for DirectSink<'_> {
     }
 }
 
+/// Warmup sink: functional state only. Every statistic event is dropped
+/// except [`StatsSink::line_added`], which maintains the valid-line count —
+/// a property of the cache *contents* (like tags and LRU ranks), not of
+/// past events. This is the sink behind [`crate::Llc::set_stats_frozen`]:
+/// the sampled execution path warms the tag array between measured windows
+/// without accruing statistics, and the monomorphised no-ops compile the
+/// stat plumbing out of the warmup fast path entirely.
+pub(crate) struct FrozenSink<'a> {
+    pub valid_count: &'a mut u64,
+}
+
+impl StatsSink for FrozenSink<'_> {
+    #[inline]
+    fn reference(&mut self, _a: u16, _op: u32) {}
+    #[inline]
+    fn miss(&mut self, _a: u16, _op: u32) {}
+    #[inline]
+    fn mem_read(&mut self) {}
+    #[inline]
+    fn evict(&mut self, _victim: u16, _by: u16, _dirty_wb: bool, _op: u32) {}
+    #[inline]
+    fn line_added(&mut self) {
+        *self.valid_count += 1;
+    }
+    #[inline]
+    fn occupancy_inc(&mut self, _a: u16, _op: u32) {}
+    #[inline]
+    fn ddio_hit(&mut self) {}
+    #[inline]
+    fn ddio_miss(&mut self) {}
+}
+
 /// Batched sink: accumulates into the shard's [`ShardDelta`]; safe to use
 /// from a worker thread because it touches only shard-local state.
 pub(crate) struct DeltaSink<'a> {

@@ -153,6 +153,14 @@ impl LlcStats {
         self.agents.iter().any(|(a, _)| *a == id)
     }
 
+    /// Zeroes every agent's occupancy count (ahead of a recount from the
+    /// resident lines — see [`crate::Llc::repair_occupancy`]).
+    pub(crate) fn clear_occupancy(&mut self) {
+        for (_, s) in self.agents.iter_mut() {
+            s.occupancy_lines = 0;
+        }
+    }
+
     #[inline]
     pub(crate) fn agent_mut(&mut self, id: AgentId) -> &mut AgentStats {
         match self.agents.iter().position(|(a, _)| *a == id) {

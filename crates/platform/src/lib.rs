@@ -30,9 +30,10 @@
 mod config;
 mod platform;
 mod recorder;
+mod sampler;
 mod tenant;
 
 pub use config::PlatformConfig;
-pub use platform::{take_sim_accesses, EpochReport, Platform};
+pub use platform::{take_sim_accesses, take_skipped_epochs, EpochReport, Platform};
 pub use recorder::Recorder;
 pub use tenant::{Tenant, TenantId, TrafficBinding};

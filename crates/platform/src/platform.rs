@@ -1,11 +1,14 @@
 //! The epoch-driven platform stepper.
 
 use crate::config::PlatformConfig;
+use crate::sampler::{EpochAction, Sampler};
 use crate::tenant::{Tenant, TenantId};
 use iat_cachesim::{Llc, MemoryHierarchy};
 use iat_perf::{CounterBank, MonitorSpec, TenantSpec};
 use iat_rdt::Rdt;
 use iat_telemetry::{Event, Recorder, Stamp};
+use iat_workloads::phase;
+use iat_workloads::phase::PhaseBoundary;
 use iat_workloads::{Channels, ExecCtx, WorkloadMetrics};
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -19,6 +22,11 @@ thread_local! {
     /// sweep helpers — to that job, without threading a counter through
     /// every call chain.
     static SIM_ACCESSES: Cell<u64> = const { Cell::new(0) };
+    /// Per-thread tally of epochs fast-forwarded by sampled platforms
+    /// (same attribution pattern as [`SIM_ACCESSES`]). A sampled run
+    /// that silently fell back to exact execution leaves this at zero —
+    /// which is exactly what `repro --sampled` asserts against.
+    static SKIPPED_EPOCHS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Drains the calling thread's simulated-access tally (the sum of
@@ -29,6 +37,14 @@ thread_local! {
 /// same worker thread.
 pub fn take_sim_accesses() -> u64 {
     SIM_ACCESSES.with(|c| c.replace(0))
+}
+
+/// Drains the calling thread's fast-forwarded-epoch tally (the sum of
+/// skipped epochs over every sampled [`Platform`] dropped on this thread
+/// since the last drain). Zero after a sampled job means sampling never
+/// engaged.
+pub fn take_skipped_epochs() -> u64 {
+    SKIPPED_EPOCHS.with(|c| c.replace(0))
 }
 
 /// What happened during one epoch.
@@ -76,11 +92,28 @@ pub struct Platform {
     /// Cumulative per-port drop counts at the last telemetry sweep,
     /// keyed by (tenant, port index), so sweeps emit interval deltas.
     vf_drop_base: BTreeMap<(TenantId, usize), u64>,
+    /// Phase-aware interval sampler; `None` runs every epoch exactly.
+    sampler: Option<Sampler>,
+    /// Whether a functional-warmup epoch ran since the last occupancy
+    /// repair (per-agent occupancy is frozen during warm epochs and must
+    /// be recounted from the cache contents before measuring).
+    occupancy_stale: bool,
+    /// [`Rdt::capacity_gen`] as of the last epoch (sampled mode): a bump
+    /// means ways were granted/revoked or DDIO was resized, so cache
+    /// contents must re-converge before the next measured window.
+    last_capacity_gen: u64,
+    /// Whether any epoch has executed: capacity-mask programming during
+    /// scenario *setup* is part of the initial state (covered by
+    /// `cold_start_epochs`), not a mid-run capacity event.
+    epochs_started: bool,
 }
 
 impl Drop for Platform {
     fn drop(&mut self) {
         SIM_ACCESSES.with(|c| c.set(c.get() + self.hierarchy.accesses()));
+        if let Some(s) = &self.sampler {
+            SKIPPED_EPOCHS.with(|c| c.set(c.get() + s.skipped_epochs()));
+        }
     }
 }
 
@@ -95,8 +128,16 @@ impl std::fmt::Debug for Platform {
 }
 
 impl Platform {
-    /// Creates an empty platform.
+    /// Creates an empty platform. If the calling thread opted into
+    /// sampled execution (see
+    /// [`iat_cachesim::config::set_thread_sampling`]), the platform runs
+    /// the phase-aware interval sampler; otherwise every epoch is
+    /// simulated exactly.
     pub fn new(config: PlatformConfig) -> Self {
+        let sampler = iat_cachesim::config::thread_sampling().map(|spec| {
+            phase::reset_thread();
+            Sampler::new(spec, (1_000_000_000 / config.epoch_ns).max(1))
+        });
         Platform {
             config,
             hierarchy: MemoryHierarchy::new(config.llc, config.l2, config.cores, config.latency),
@@ -106,6 +147,10 @@ impl Platform {
             tenants: Vec::new(),
             time_ns: 0,
             vf_drop_base: BTreeMap::new(),
+            sampler,
+            occupancy_stale: false,
+            last_capacity_gen: 0,
+            epochs_started: false,
         }
     }
 
@@ -246,13 +291,104 @@ impl Platform {
 
     /// Advances the platform by one epoch.
     ///
-    /// The epoch is executed in [`PlatformConfig::chunks`] sub-slices, each
+    /// In exact mode (no thread sampling opt-in) every epoch is simulated
+    /// at full fidelity. In sampled mode the per-interval schedule decides
+    /// whether this epoch is fast-forwarded, run as functional warmup
+    /// (tag/ring/workload state updates, statistics frozen, no modelled
+    /// time), or measured normally. Only measured epochs advance
+    /// [`Platform::time_ns`], so every rate computed against modelled time
+    /// remains unbiased under sampling.
+    pub fn step_epoch(&mut self) -> EpochReport {
+        if self.sampler.is_some() {
+            // Poll for capacity events (ways granted/revoked, DDIO
+            // resized) since the previous epoch. Mask writes made during
+            // scenario setup — before any epoch ran — are initial state,
+            // already covered by the cold-start warmup.
+            let gen = self.rdt.capacity_gen();
+            if gen != self.last_capacity_gen {
+                self.last_capacity_gen = gen;
+                if self.epochs_started {
+                    self.sampler.as_mut().expect("checked").force_reconverge();
+                }
+            }
+            self.epochs_started = true;
+        }
+        let action = match &mut self.sampler {
+            None => EpochAction::Measure,
+            Some(s) => {
+                let (refs, misses) = {
+                    let st = self.hierarchy.llc().stats();
+                    let mut r = (0u64, 0u64);
+                    for (_, a) in st.agents() {
+                        r.0 += a.references;
+                        r.1 += a.misses;
+                    }
+                    r
+                };
+                s.begin_epoch(refs, misses)
+            }
+        };
+        let report = match action {
+            EpochAction::Skip => {
+                EpochReport { time_ns: self.time_ns, ..EpochReport::default() }
+            }
+            EpochAction::Warm => {
+                self.hierarchy.set_stats_frozen(true);
+                phase::set_observing(true);
+                self.exec_epoch(false);
+                phase::set_observing(false);
+                self.hierarchy.set_stats_frozen(false);
+                self.occupancy_stale = true;
+                EpochReport { time_ns: self.time_ns, ..EpochReport::default() }
+            }
+            EpochAction::Measure => {
+                let observe = self.sampler.is_some();
+                if observe {
+                    if self.occupancy_stale {
+                        // Warm epochs froze per-agent occupancy while the
+                        // cache body kept evolving; recount from contents
+                        // so the measured window starts (and stays) exact.
+                        self.hierarchy.repair_occupancy();
+                        self.occupancy_stale = false;
+                    }
+                    phase::set_observing(true);
+                }
+                let r = self.exec_epoch(true);
+                if observe {
+                    phase::set_observing(false);
+                }
+                r
+            }
+        };
+        if self.sampler.is_some() {
+            let (refs, misses) = {
+                let st = self.hierarchy.llc().stats();
+                let mut r = (0u64, 0u64);
+                for (_, a) in st.agents() {
+                    r.0 += a.references;
+                    r.1 += a.misses;
+                }
+                r
+            };
+            if let Some(s) = &mut self.sampler {
+                s.end_epoch(refs, misses);
+            }
+        }
+        report
+    }
+
+    /// The epoch body: runs in [`PlatformConfig::chunks`] sub-slices, each
     /// delivering a fraction of the epoch's traffic, running every tenant
     /// core for a fraction of its budget, then draining Tx rings. The
     /// chunking interleaves producer (DMA) and consumer (core) at finer
     /// than epoch granularity, so ring-depth effects (drops, backlog) are
     /// governed by sustained rates rather than epoch-sized bursts.
-    pub fn step_epoch(&mut self) -> EpochReport {
+    ///
+    /// With `measured` false (a warmup epoch) the hardware counter bank
+    /// does not retire, NIC drop counters are restored after delivery
+    /// (so drop totals stay measured-only), and modelled time does not
+    /// advance.
+    fn exec_epoch(&mut self, measured: bool) -> EpochReport {
         let chunks = self.config.chunks.max(1) as u64;
         let dt = self.config.scaled_epoch_ns() / chunks;
         let budget = self.config.cycle_budget() / chunks;
@@ -274,6 +410,13 @@ impl Platform {
                         port.dma.rx_batch(&mut self.hierarchy, ddio, &mut port.rx, &batch) as u64;
                     delivered += accepted;
                     dropped += port.dma.rx_dropped - before_drops;
+                    if !measured {
+                        // Warmup delivery must not inflate cumulative
+                        // drop counters (they extrapolate from measured
+                        // epochs only); the ring state itself keeps the
+                        // warmed backlog.
+                        port.dma.rx_dropped = before_drops;
+                    }
                 }
             }
 
@@ -292,7 +435,9 @@ impl Platform {
                     let r = t.workload.run(&mut ctx);
                     // Cores never halt (busy polling / continuous
                     // compute): the full budget elapses as cycles.
-                    self.bank.retire(core, r.instructions, budget);
+                    if measured {
+                        self.bank.retire(core, r.instructions, budget);
+                    }
                 }
             }
 
@@ -304,7 +449,9 @@ impl Platform {
             }
         }
 
-        self.time_ns += self.config.epoch_ns;
+        if measured {
+            self.time_ns += self.config.epoch_ns;
+        }
         EpochReport { time_ns: self.time_ns, packets_delivered: delivered, packets_dropped: dropped }
     }
 
@@ -332,6 +479,41 @@ impl Platform {
     /// Epochs per modelled second.
     pub fn epochs_per_second(&self) -> usize {
         (1_000_000_000 / self.config.epoch_ns) as usize
+    }
+
+    /// Whether this platform runs the phase-aware interval sampler.
+    pub fn sampled(&self) -> bool {
+        self.sampler.is_some()
+    }
+
+    /// Cumulative epochs simulated at full fidelity. In exact mode this
+    /// is not tracked (every epoch is measured) and `None` is returned.
+    pub fn measured_epochs(&self) -> Option<u64> {
+        self.sampler.as_ref().map(|s| s.measured_epochs())
+    }
+
+    /// Cumulative fast-forwarded epochs (zero in exact mode).
+    pub fn skipped_epochs(&self) -> u64 {
+        self.sampler.as_ref().map_or(0, |s| s.skipped_epochs())
+    }
+
+    /// Epochs per sampling interval (exact mode: the nominal
+    /// epochs-per-second interval).
+    pub fn sampling_interval_len(&self) -> u64 {
+        self.sampler
+            .as_ref()
+            .map_or(self.epochs_per_second() as u64, |s| s.interval_len())
+    }
+
+    /// Distinct phases the sampler has discovered (zero in exact mode).
+    pub fn phase_count(&self) -> usize {
+        self.sampler.as_ref().map_or(0, |s| s.phase_count())
+    }
+
+    /// Drains phase-boundary records detected since the last drain
+    /// (always empty in exact mode).
+    pub fn take_phase_boundaries(&mut self) -> Vec<PhaseBoundary> {
+        self.sampler.as_mut().map(|s| s.take_boundaries()).unwrap_or_default()
     }
 
     /// One NIC telemetry sweep: emits, for every VF port of every
@@ -468,6 +650,41 @@ mod tests {
         let t = p.remove_tenant(TenantId(0));
         assert_eq!(t.id, TenantId(0));
         assert_eq!(p.tenants().len(), 1);
+    }
+
+    #[test]
+    fn sampled_platform_fast_forwards_but_stays_functional() {
+        iat_cachesim::config::set_thread_sampling(Some(
+            iat_cachesim::config::SamplingLevel::Standard.spec(),
+        ));
+        let mut p = Platform::new(PlatformConfig::tiny());
+        iat_cachesim::config::set_thread_sampling(None);
+        assert!(p.sampled());
+        p.add_tenant(xmem_tenant(0, 0, 1));
+        let interval = p.sampling_interval_len() as usize;
+        p.run_epochs(interval);
+        let measured = p.measured_epochs().expect("sampled");
+        assert!(measured > 0, "some epochs must be measured");
+        assert!(p.skipped_epochs() > 0, "some epochs must fast-forward");
+        assert!(measured + p.skipped_epochs() < interval as u64, "warm epochs exist");
+        // Only measured epochs advance modelled time.
+        assert_eq!(p.time_ns(), measured * p.config().epoch_ns);
+        // The workload still progressed, and only during measured epochs.
+        assert!(p.metrics_of(TenantId(0)).ops > 0);
+        drop(p);
+        assert!(take_skipped_epochs() > 0, "drop must publish the skip tally");
+        assert_eq!(take_skipped_epochs(), 0, "drain must reset");
+    }
+
+    #[test]
+    fn exact_platform_reports_no_sampling() {
+        let mut p = Platform::new(PlatformConfig::tiny());
+        assert!(!p.sampled());
+        p.add_tenant(xmem_tenant(0, 0, 1));
+        p.run_epochs(5);
+        assert_eq!(p.measured_epochs(), None);
+        assert_eq!(p.skipped_epochs(), 0);
+        assert!(p.take_phase_boundaries().is_empty());
     }
 
     #[test]

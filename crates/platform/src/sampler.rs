@@ -1,0 +1,308 @@
+//! Phase-aware interval sampling (the sampled execution path).
+//!
+//! When a thread opts in via [`iat_cachesim::config::set_thread_sampling`],
+//! the platform stops simulating every epoch. Each one-second interval
+//! (`epochs_per_second` epochs) instead follows a schedule
+//! `[skip S | warm W | measure M]`: the skip prefix fast-forwards (no
+//! simulation at all), the warm segment runs *functionally* — tag arrays,
+//! rings and workload state all update, but no statistics accrue and no
+//! modelled time passes — and the measured suffix runs at full fidelity.
+//! Measuring **last** means interval-end polls always read
+//! freshly-produced counters.
+//!
+//! The schedule adapts per phase: a [`PhaseProfiler`] fingerprints every
+//! interval from the thread's reuse-distance sketch plus the interval's
+//! LLC miss rate, and novel or unstable phases get a *boost* plan (a much
+//! larger warm+measure share) until the fingerprint stabilises. Because
+//! the sketch observes addresses at [`iat_workloads::ExecCtx`] enqueue
+//! order — before any batching — fingerprints and therefore schedules are
+//! identical across `--slice-workers` settings and window-flush
+//! placements.
+
+use iat_cachesim::config::SamplingSpec;
+use iat_workloads::phase::{self, PhaseBoundary, PhaseProfiler, PlanHint};
+
+/// What the platform should do with the next epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EpochAction {
+    /// Fast-forward: the epoch is not simulated at all.
+    Skip,
+    /// Functional warmup: full execution with statistics frozen and no
+    /// modelled-time advance.
+    Warm,
+    /// Full-fidelity simulation (the only epochs that advance time).
+    Measure,
+}
+
+/// One interval's epoch schedule. The skip prefix is implied:
+/// `skip = interval_len - warm - measure`.
+#[derive(Debug, Clone, Copy)]
+struct Plan {
+    warm: u64,
+    measure: u64,
+}
+
+impl Plan {
+    /// Builds the schedule for `hint` under `spec`, as percentages of the
+    /// interval scaled to `len` epochs (each segment at least one epoch).
+    fn build(spec: &SamplingSpec, hint: PlanHint, len: u64) -> Plan {
+        let (warm_pct, measure_pct) = match hint {
+            PlanHint::Stable => (spec.stable_warm_pct, spec.stable_measure_pct),
+            PlanHint::Boost => (spec.boost_warm_pct, spec.boost_measure_pct),
+        };
+        let warm = (len * warm_pct as u64 / 100).max(1);
+        let measure = (len * measure_pct as u64 / 100).max(1);
+        if warm + measure >= len {
+            // Degenerate (very short intervals): measure everything.
+            Plan { warm: 0, measure: len }
+        } else {
+            Plan { warm, measure }
+        }
+    }
+}
+
+/// Per-platform sampling state: the current interval's schedule, the
+/// phase profiler it adapts from, and cumulative epoch accounting.
+pub(crate) struct Sampler {
+    spec: SamplingSpec,
+    profiler: PhaseProfiler,
+    interval_len: u64,
+    /// Position of the *next* epoch within the current interval.
+    pos: u64,
+    plan: Plan,
+    /// Forced functional-warmup epochs still owed: positions that would
+    /// fast-forward run as warm epochs instead until this drains. Seeded
+    /// with `spec.cold_start_epochs` (cache fill at simulation start) and
+    /// re-armed with `spec.reconverge_epochs` on capacity events and novel
+    /// phases.
+    forced_warm: u64,
+    /// Action handed out by the last `begin_epoch` (accounting happens in
+    /// `end_epoch`, after the epoch ran).
+    current: EpochAction,
+    /// Cumulative epochs simulated at full fidelity.
+    measured: u64,
+    /// Cumulative epochs fast-forwarded (skip only; warm epochs run).
+    skipped: u64,
+    /// LLC (references, misses) totals at the start of the current
+    /// interval's measured segment.
+    refs_base: u64,
+    miss_base: u64,
+}
+
+impl Sampler {
+    /// Creates a sampler for intervals of `interval_len` epochs. The
+    /// first interval always runs the boost plan (every phase starts
+    /// novel), with `spec.cold_start_epochs` of forced warmup on top.
+    pub fn new(spec: SamplingSpec, interval_len: u64) -> Self {
+        let interval_len = interval_len.max(1);
+        Sampler {
+            spec,
+            profiler: PhaseProfiler::new(),
+            interval_len,
+            pos: 0,
+            plan: Plan::build(&spec, PlanHint::Boost, interval_len),
+            forced_warm: spec.cold_start_epochs as u64,
+            current: EpochAction::Measure,
+            measured: 0,
+            skipped: 0,
+            refs_base: 0,
+            miss_base: 0,
+        }
+    }
+
+    fn skip_len(&self) -> u64 {
+        self.interval_len - self.plan.warm - self.plan.measure
+    }
+
+    /// Converts pending fast-forward epochs into functional warmup:
+    /// called at simulation start (cold cache), after an allocation
+    /// capacity change, and on novel phases — whenever the tag array must
+    /// re-converge before the next measured window means anything.
+    pub fn force_reconverge(&mut self) {
+        self.forced_warm = self.forced_warm.max(self.spec.reconverge_epochs as u64);
+    }
+
+    /// Decides the next epoch's action. `refs`/`misses` are the LLC's
+    /// cumulative totals, captured as the baseline when the measured
+    /// segment begins.
+    pub fn begin_epoch(&mut self, refs: u64, misses: u64) -> EpochAction {
+        let skip = self.skip_len();
+        if self.pos == skip + self.plan.warm {
+            self.refs_base = refs;
+            self.miss_base = misses;
+        }
+        self.current = if self.pos < skip {
+            if self.forced_warm > 0 {
+                self.forced_warm -= 1;
+                EpochAction::Warm
+            } else {
+                EpochAction::Skip
+            }
+        } else if self.pos < skip + self.plan.warm {
+            EpochAction::Warm
+        } else {
+            EpochAction::Measure
+        };
+        self.current
+    }
+
+    /// Accounts for the epoch just executed; at interval end, drains the
+    /// thread's phase fingerprint, folds the measured-segment miss rate
+    /// in, and re-plans the next interval from the profiler's hint.
+    pub fn end_epoch(&mut self, refs: u64, misses: u64) {
+        match self.current {
+            EpochAction::Skip => self.skipped += 1,
+            EpochAction::Measure => self.measured += 1,
+            EpochAction::Warm => {}
+        }
+        self.pos += 1;
+        if self.pos < self.interval_len {
+            return;
+        }
+        self.pos = 0;
+        let drefs = refs.saturating_sub(self.refs_base);
+        let dmiss = misses.saturating_sub(self.miss_base);
+        let permille = if drefs == 0 { 0 } else { (dmiss * 1000 / drefs).min(1000) as u16 };
+        let fp = phase::drain_fingerprint(permille);
+        let known_phases = self.profiler.phase_count();
+        let hint = self.profiler.observe_interval(fp);
+        if self.profiler.phase_count() > known_phases && self.profiler.intervals() > 1 {
+            // A novel phase opened mid-simulation (working-set change,
+            // traffic shift): the cache contents reflect the old phase, so
+            // spend forced warmup re-converging before trusting measured
+            // windows again. The first interval is always novel and is
+            // covered by `cold_start_epochs` instead.
+            self.force_reconverge();
+        }
+        self.plan = Plan::build(&self.spec, hint, self.interval_len);
+    }
+
+    /// Cumulative epochs simulated at full fidelity.
+    pub fn measured_epochs(&self) -> u64 {
+        self.measured
+    }
+
+    /// Cumulative fast-forwarded epochs.
+    pub fn skipped_epochs(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Epochs per interval.
+    pub fn interval_len(&self) -> u64 {
+        self.interval_len
+    }
+
+    /// Distinct phases discovered so far.
+    pub fn phase_count(&self) -> usize {
+        self.profiler.phase_count()
+    }
+
+    /// Drains phase-boundary records accumulated since the last drain.
+    pub fn take_boundaries(&mut self) -> Vec<PhaseBoundary> {
+        self.profiler.take_boundaries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iat_cachesim::config::SamplingLevel;
+
+    #[test]
+    fn schedule_orders_skip_warm_measure() {
+        let mut s = Sampler::new(SamplingLevel::Standard.spec(), 100);
+        // First interval: boost plan (8 warm + 22 measure after 70 skips).
+        let mut actions = Vec::new();
+        for _ in 0..100 {
+            let a = s.begin_epoch(0, 0);
+            actions.push(a);
+            s.end_epoch(0, 0);
+        }
+        assert_eq!(actions.iter().filter(|a| **a == EpochAction::Skip).count(), 70);
+        assert_eq!(actions.iter().filter(|a| **a == EpochAction::Warm).count(), 8);
+        assert_eq!(actions.iter().filter(|a| **a == EpochAction::Measure).count(), 22);
+        // Measure comes last.
+        assert_eq!(actions[99], EpochAction::Measure);
+        assert_eq!(actions[0], EpochAction::Skip);
+        assert_eq!(s.measured_epochs(), 22);
+        assert_eq!(s.skipped_epochs(), 70);
+    }
+
+    #[test]
+    fn stable_phase_shrinks_the_plan() {
+        phase::reset_thread();
+        phase::set_observing(true);
+        let mut s = Sampler::new(SamplingLevel::Standard.spec(), 100);
+        for _ in 0..500 {
+            let a = s.begin_epoch(0, 0);
+            if a == EpochAction::Measure {
+                // Feed the thread sketch so intervals are not idle.
+                for i in 0..4096u64 {
+                    phase::observe((i % 64) * 64);
+                }
+            }
+            s.end_epoch(0, 0);
+        }
+        phase::reset_thread();
+        // Constant fingerprint -> one phase; the first two intervals run
+        // the boost plan (stability needs two matches), then the stable
+        // 5%-measure plan takes over: 2x22 + 3x5 = 59 of 500.
+        assert_eq!(s.phase_count(), 1);
+        assert_eq!(s.measured_epochs(), 2 * 22 + 3 * 5);
+        assert_eq!(s.skipped_epochs(), 2 * 70 + 3 * 93);
+    }
+
+    #[test]
+    fn cold_start_and_reconverge_convert_skips_to_warm() {
+        let mut spec = SamplingLevel::Standard.spec();
+        spec.cold_start_epochs = 100;
+        spec.reconverge_epochs = 30;
+        let mut s = Sampler::new(spec, 100);
+        // Interval 1 (boost: 70 skip | 8 warm | 22 measure): the 70 skip
+        // positions all run as forced warm, leaving 30 owed.
+        let first: Vec<EpochAction> = (0..100)
+            .map(|_| {
+                let a = s.begin_epoch(0, 0);
+                s.end_epoch(0, 0);
+                a
+            })
+            .collect();
+        assert_eq!(first.iter().filter(|a| **a == EpochAction::Skip).count(), 0);
+        assert_eq!(first.iter().filter(|a| **a == EpochAction::Warm).count(), 78);
+        assert_eq!(s.skipped_epochs(), 0);
+        // Interval 2: 30 owed warm epochs, then genuine skips resume.
+        let second: Vec<EpochAction> = (0..100)
+            .map(|_| {
+                let a = s.begin_epoch(0, 0);
+                s.end_epoch(0, 0);
+                a
+            })
+            .collect();
+        assert_eq!(second.iter().filter(|a| **a == EpochAction::Skip).count(), 40);
+        // Re-arming mid-stream tops forced warmup back up to 30.
+        s.force_reconverge();
+        let third: Vec<EpochAction> = (0..100)
+            .map(|_| {
+                let a = s.begin_epoch(0, 0);
+                s.end_epoch(0, 0);
+                a
+            })
+            .collect();
+        assert_eq!(third.iter().filter(|a| **a == EpochAction::Skip).count(), 40);
+        // Measure still comes last in every interval.
+        assert_eq!(third[99], EpochAction::Measure);
+    }
+
+    #[test]
+    fn degenerate_interval_measures_everything() {
+        let mut spec = SamplingLevel::Conservative.spec();
+        spec.cold_start_epochs = 0;
+        let mut s = Sampler::new(spec, 2);
+        for _ in 0..4 {
+            assert_eq!(s.begin_epoch(0, 0), EpochAction::Measure);
+            s.end_epoch(0, 0);
+        }
+        assert_eq!(s.measured_epochs(), 4);
+        assert_eq!(s.skipped_epochs(), 0);
+    }
+}

@@ -166,6 +166,14 @@ pub struct Rdt {
     core_clos: Vec<ClosId>,
     ddio_mask: WayMask,
     msr_writes: u64,
+    /// Bumped whenever a mask write changes an allocation's way *count*
+    /// (CLOS capacity grown/shrunk, DDIO resized). Pure relocations —
+    /// shuffles and rotations that move a mask without resizing it — do
+    /// not count: they migrate lines gradually rather than invalidating
+    /// the working set, so consumers tracking capacity (the sampled
+    /// execution path re-converges cache state on changes) must not
+    /// react to them.
+    capacity_gen: u64,
     /// Opt-in journal of successful writes; empty unless enabled.
     journal: Vec<RegWrite>,
     journal_enabled: bool,
@@ -191,6 +199,7 @@ impl Rdt {
             core_clos: vec![ClosId::DEFAULT; cores],
             ddio_mask: WayMask::contiguous(ways - 2, 2).expect("ways >= 2"),
             msr_writes: 0,
+            capacity_gen: 0,
             journal: Vec::new(),
             journal_enabled: false,
         }
@@ -257,6 +266,9 @@ impl Rdt {
     /// LLC, or non-contiguous.
     pub fn set_clos_mask(&mut self, clos: ClosId, mask: WayMask) -> Result<()> {
         self.check_cbm(mask)?;
+        if self.clos_masks[clos.index()].count() != mask.count() {
+            self.capacity_gen += 1;
+        }
         self.clos_masks[clos.index()] = mask;
         self.msr_writes += 1;
         self.journal_write(RegTarget::Clos, clos.0, mask.bits());
@@ -316,10 +328,20 @@ impl Rdt {
         if !mask.fits(self.ways) {
             return Err(RdtError::InvalidDdioMask { mask, reason: "exceeds associativity" });
         }
+        if self.ddio_mask.count() != mask.count() {
+            self.capacity_gen += 1;
+        }
         self.ddio_mask = mask;
         self.msr_writes += 1;
         self.journal_write(RegTarget::Ddio, 0, mask.bits());
         Ok(())
+    }
+
+    /// Generation counter of way-*count* changes: incremented by every
+    /// successful mask write that grew or shrank a CLOS capacity mask or
+    /// the DDIO register, and untouched by same-size relocations.
+    pub fn capacity_gen(&self) -> u64 {
+        self.capacity_gen
     }
 
     /// Reads the DDIO (IIO LLC WAYS) register.
@@ -361,6 +383,29 @@ mod tests {
             assert_eq!(rdt.mask_of_core(c), WayMask::all(11));
         }
         assert_eq!(rdt.msr_writes(), 0);
+    }
+
+    #[test]
+    fn capacity_gen_tracks_way_counts_not_positions() {
+        let mut rdt = Rdt::new(11, 4);
+        assert_eq!(rdt.capacity_gen(), 0);
+        let clos = ClosId::new(1);
+        // Growing a CLOS changes capacity.
+        rdt.set_clos_mask(clos, WayMask::contiguous(0, 4).unwrap()).unwrap();
+        assert_eq!(rdt.capacity_gen(), 1);
+        // Sliding the same-width mask (a rotation) does not.
+        rdt.set_clos_mask(clos, WayMask::contiguous(2, 4).unwrap()).unwrap();
+        assert_eq!(rdt.capacity_gen(), 1);
+        // Shrinking does.
+        rdt.set_clos_mask(clos, WayMask::contiguous(2, 2).unwrap()).unwrap();
+        assert_eq!(rdt.capacity_gen(), 2);
+        // DDIO: resize counts, relocation does not, rejects change nothing.
+        rdt.set_ddio_mask(WayMask::contiguous(5, 2).unwrap()).unwrap();
+        assert_eq!(rdt.capacity_gen(), 2);
+        rdt.set_ddio_mask(WayMask::contiguous(5, 4).unwrap()).unwrap();
+        assert_eq!(rdt.capacity_gen(), 3);
+        assert!(rdt.set_ddio_mask(WayMask::EMPTY).is_err());
+        assert_eq!(rdt.capacity_gen(), 3);
     }
 
     #[test]

@@ -17,10 +17,25 @@ use serde_json::{json, Value};
 /// `accesses_per_s: 0.0` — the key is omitted — and the top-level
 /// throughput divides by the job cost of access-reporting figures only;
 /// the `slice_workers` policy the sweep ran under is recorded.
-pub const BENCH_SCHEMA: &str = "iat-bench-repro/v2";
+///
+/// v3: the report records whether the sweep ran phase-aware interval
+/// sampling (`sampled`, plus per-figure `sampled` and `skipped_epochs`),
+/// and sampled reports may carry per-figure `sample_error_pct` /
+/// `headline_exact` / `headline_sampled` once the extrapolated headline
+/// has been compared against the committed exact capture (see
+/// [`attach_sample_errors`]).
+pub const BENCH_SCHEMA: &str = "iat-bench-repro/v3";
 
 /// Schema tag for one `BENCH_history.jsonl` line (see [`history_record`]).
 pub const HISTORY_SCHEMA: &str = "iat-bench-history/v1";
+
+/// Schema tag for the committed `BENCH_trajectory.json` (see
+/// [`trajectory_update`]).
+pub const TRAJECTORY_SCHEMA: &str = "iat-bench-trajectory/v1";
+
+/// Upper bound on trajectory records; the oldest fall off so the
+/// committed file stays reviewable.
+const TRAJECTORY_CAP: usize = 50;
 
 /// Builds the `BENCH_repro.json` document for one sweep execution.
 ///
@@ -28,70 +43,106 @@ pub const HISTORY_SCHEMA: &str = "iat-bench-history/v1";
 /// `"debug"` — callers pass a `cfg!(debug_assertions)`-derived value so
 /// debug-profile numbers are never mistaken for the perf trajectory).
 pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value {
-    let mut figures: Vec<(String, f64, usize, u64, bool)> = Vec::new();
+    struct Group {
+        figure: String,
+        wall: f64,
+        jobs: usize,
+        accesses: u64,
+        sampled: bool,
+        skipped: u64,
+        ok: bool,
+    }
+    let mut figures: Vec<Group> = Vec::new();
     for r in &out.reports {
         let wall = r.wall.as_secs_f64();
-        match figures.iter_mut().find(|(g, ..)| g == &r.group) {
-            Some((_, w, jobs, acc, ok)) => {
-                *w += wall;
-                *jobs += 1;
-                *acc += r.accesses;
-                *ok &= r.outcome == Outcome::Ok;
+        match figures.iter_mut().find(|g| g.figure == r.group) {
+            Some(g) => {
+                g.wall += wall;
+                g.jobs += 1;
+                g.accesses += r.accesses;
+                g.sampled |= r.sampled;
+                g.skipped += r.skipped_epochs;
+                g.ok &= r.outcome == Outcome::Ok;
             }
-            None => figures.push((
-                r.group.clone(),
+            None => figures.push(Group {
+                figure: r.group.clone(),
                 wall,
-                1,
-                r.accesses,
-                r.outcome == Outcome::Ok,
-            )),
+                jobs: 1,
+                accesses: r.accesses,
+                sampled: r.sampled,
+                skipped: r.skipped_epochs,
+                ok: r.outcome == Outcome::Ok,
+            }),
         }
     }
-    let busy: f64 = figures.iter().map(|(_, w, ..)| w).sum();
-    let accesses: u64 = figures.iter().map(|(.., a, _)| a).sum();
+    let busy: f64 = figures.iter().map(|g| g.wall).sum();
+    let accesses: u64 = figures.iter().map(|g| g.accesses).sum();
+    let skipped: u64 = figures.iter().map(|g| g.skipped).sum();
     // Aggregate throughput over the figures that actually simulate
     // accesses; static-table groups would only dilute the number.
     let sim_busy: f64 = figures
         .iter()
-        .filter(|(.., a, _)| *a > 0)
-        .map(|(_, w, ..)| w)
+        .filter(|g| g.accesses > 0)
+        .map(|g| g.wall)
         .sum();
     let figures: Vec<Value> = figures
         .into_iter()
-        .map(|(figure, wall_s, jobs, accesses, ok)| {
-            if accesses > 0 {
-                json!({
-                    "figure": figure,
-                    "jobs": jobs,
-                    "wall_s": wall_s,
-                    "accesses": accesses,
-                    "accesses_per_s": accesses as f64 / wall_s.max(1e-9),
-                    "ok": ok,
-                })
-            } else {
-                json!({
-                    "figure": figure,
-                    "jobs": jobs,
-                    "wall_s": wall_s,
-                    "accesses": accesses,
-                    "ok": ok,
-                })
+        .map(|g| {
+            let mut fig = json!({
+                "figure": g.figure,
+                "jobs": g.jobs,
+                "wall_s": g.wall,
+                "accesses": g.accesses,
+                "sampled": g.sampled,
+                "skipped_epochs": g.skipped,
+                "ok": g.ok,
+            });
+            if g.accesses > 0 {
+                fig["accesses_per_s"] = json!(g.accesses as f64 / g.wall.max(1e-9));
             }
+            fig
         })
         .collect();
     json!({
         "schema": BENCH_SCHEMA,
         "profile": profile,
         "smoke": opts.smoke,
+        "sampled": opts.sampled,
         "jobs": opts.jobs,
         "slice_workers": opts.slice_workers,
         "root_seed": opts.root_seed,
         "wall_s": out.wall.as_secs_f64(),
         "aggregate_job_cost_s": busy,
         "accesses": accesses,
+        "skipped_epochs": skipped,
         "accesses_per_s": accesses as f64 / sim_busy.max(1e-9),
         "figures": figures,
     })
+}
+
+/// Folds per-figure sampled-vs-exact headline comparisons into a v3
+/// report: each `(figure, exact, sampled)` entry gains
+/// `headline_exact`, `headline_sampled`, and `sample_error_pct`
+/// (`|sampled/exact - 1| * 100`, or `null` when the exact headline is
+/// zero). Figures without an entry are left untouched.
+pub fn attach_sample_errors(report: &mut Value, headlines: &[(String, f64, f64)]) {
+    let Some(figs) = report["figures"].as_array_mut() else {
+        return;
+    };
+    for f in figs {
+        let Some(name) = f["figure"].as_str() else {
+            continue;
+        };
+        if let Some((_, exact, sampled)) = headlines.iter().find(|(g, ..)| g == name) {
+            f["headline_exact"] = json!(exact);
+            f["headline_sampled"] = json!(sampled);
+            f["sample_error_pct"] = if *exact == 0.0 {
+                Value::Null
+            } else {
+                json!((sampled / exact - 1.0).abs() * 100.0)
+            };
+        }
+    }
 }
 
 /// Extracts the previous per-figure job costs from a bench report, for
@@ -126,6 +177,7 @@ pub fn history_record(report: &Value) -> Value {
         "schema": HISTORY_SCHEMA,
         "profile": report["profile"],
         "smoke": report["smoke"],
+        "sampled": report["sampled"],
         "jobs": report["jobs"],
         "slice_workers": report["slice_workers"],
         "root_seed": report["root_seed"],
@@ -157,6 +209,11 @@ pub fn validate_history(line: &Value) -> Result<(), String> {
             return Err(format!("{key} must be a boolean"));
         }
     }
+    // `sampled` arrived with repro schema v3; tolerate its absence so
+    // pre-existing history files still validate line by line.
+    if !line["sampled"].is_null() && line["sampled"].as_bool().is_none() {
+        return Err("sampled must be a boolean when present".into());
+    }
     if !line["slice_workers"].is_null() && line["slice_workers"].as_u64().is_none() {
         return Err("slice_workers must be null or a non-negative integer".into());
     }
@@ -169,6 +226,109 @@ pub fn validate_history(line: &Value) -> Result<(), String> {
         match line[key].as_f64() {
             Some(v) if v.is_finite() && v >= 0.0 => {}
             _ => return Err(format!("{key} must be a finite non-negative number")),
+        }
+    }
+    Ok(())
+}
+
+/// Returns whether a report came from a run that should extend the
+/// committed trajectory: a full (unfiltered, non-smoke), exact
+/// (non-sampled), all-ok sweep — the only runs whose wall clock is the
+/// PR-level number the trajectory tracks.
+pub fn trajectory_eligible(report: &Value, opts: &RunOptions) -> bool {
+    let all_ok = report["figures"]
+        .as_array()
+        .is_some_and(|figs| !figs.is_empty() && figs.iter().all(|f| f["ok"] == json!(true)));
+    all_ok
+        && !opts.smoke
+        && opts.only.is_empty()
+        && report["smoke"] == json!(false)
+        && report["sampled"] == json!(false)
+}
+
+/// Folds one sweep's report into the committed `BENCH_trajectory.json`
+/// document, returning the updated document.
+///
+/// `prev` is the current file contents (pass `Value::Null` when the file
+/// does not exist or does not parse — the trajectory restarts). Records
+/// are deduplicated by their workload fingerprint (profile, jobs,
+/// slice-worker policy, seed, total accesses): re-running `repro` on
+/// unchanged code replaces the last record instead of appending, so the
+/// committed file accumulates roughly one record per PR-level change
+/// while repeated local runs never bloat it. At most [`TRAJECTORY_CAP`]
+/// records are kept.
+pub fn trajectory_update(prev: &Value, report: &Value) -> Value {
+    let record = {
+        let mut r = history_record(report);
+        // The record is self-describing inside the trajectory document;
+        // the line-level schema tag would only mislead.
+        r.as_object_mut().expect("history record is an object").remove("schema");
+        r
+    };
+    let key = |r: &Value| -> Value {
+        json!([
+            r["profile"].clone(),
+            r["jobs"].clone(),
+            r["slice_workers"].clone(),
+            r["root_seed"].clone(),
+            r["accesses"].clone(),
+        ])
+    };
+    let mut runs: Vec<Value> = prev["runs"]
+        .as_array()
+        .cloned()
+        .unwrap_or_default();
+    match runs.last() {
+        Some(last) if key(last) == key(&record) => {
+            *runs.last_mut().expect("non-empty") = record;
+        }
+        _ => runs.push(record),
+    }
+    if runs.len() > TRAJECTORY_CAP {
+        runs.drain(..runs.len() - TRAJECTORY_CAP);
+    }
+    json!({ "schema": TRAJECTORY_SCHEMA, "runs": runs })
+}
+
+/// Validates a `BENCH_trajectory.json` document.
+///
+/// # Errors
+///
+/// Returns a description of the first violated constraint.
+pub fn validate_trajectory(doc: &Value) -> Result<(), String> {
+    let schema = doc["schema"].as_str().ok_or("missing trajectory schema tag")?;
+    if schema != TRAJECTORY_SCHEMA {
+        return Err(format!(
+            "unknown trajectory schema {schema:?} (expected {TRAJECTORY_SCHEMA:?})"
+        ));
+    }
+    let runs = doc["runs"].as_array().ok_or("runs must be an array")?;
+    if runs.is_empty() {
+        return Err("runs must not be empty".into());
+    }
+    if runs.len() > TRAJECTORY_CAP {
+        return Err(format!("runs must hold at most {TRAJECTORY_CAP} records"));
+    }
+    for r in runs {
+        for key in ["smoke", "ok"] {
+            if r[key].as_bool().is_none() {
+                return Err(format!("trajectory record: {key} must be a boolean"));
+            }
+        }
+        for key in ["jobs", "root_seed", "accesses", "figures"] {
+            if r[key].as_u64().is_none() {
+                return Err(format!("trajectory record: {key} must be a non-negative integer"));
+            }
+        }
+        for key in ["wall_s", "aggregate_job_cost_s", "accesses_per_s"] {
+            match r[key].as_f64() {
+                Some(v) if v.is_finite() && v >= 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "trajectory record: {key} must be a finite non-negative number"
+                    ))
+                }
+            }
         }
     }
     Ok(())
@@ -189,13 +349,15 @@ pub fn validate(doc: &Value) -> Result<(), String> {
         Some("release" | "debug") => {}
         other => return Err(format!("bad profile {other:?}")),
     }
-    if doc["smoke"].as_bool().is_none() {
-        return Err("smoke must be a boolean".into());
+    for key in ["smoke", "sampled"] {
+        if doc[key].as_bool().is_none() {
+            return Err(format!("{key} must be a boolean"));
+        }
     }
     if !doc["slice_workers"].is_null() && doc["slice_workers"].as_u64().is_none() {
         return Err("slice_workers must be null (auto) or a non-negative integer".into());
     }
-    for key in ["jobs", "root_seed", "accesses"] {
+    for key in ["jobs", "root_seed", "accesses", "skipped_epochs"] {
         if doc[key].as_u64().is_none() {
             return Err(format!("{key} must be a non-negative integer"));
         }
@@ -214,9 +376,40 @@ pub fn validate(doc: &Value) -> Result<(), String> {
         if f["figure"].as_str().is_none() {
             return Err("figure entry missing name".into());
         }
-        for key in ["jobs", "accesses"] {
+        for key in ["jobs", "accesses", "skipped_epochs"] {
             if f[key].as_u64().is_none() {
                 return Err(format!("figure {}: {key} must be an integer", f["figure"]));
+            }
+        }
+        if f["sampled"].as_bool().is_none() {
+            return Err(format!("figure {}: sampled must be a boolean", f["figure"]));
+        }
+        // Sampling is a run-level opt-in: an exact report must not
+        // contain sampled figures or fast-forwarded epochs, and the
+        // error fields only make sense on sampled figures.
+        if doc["sampled"] == json!(false)
+            && (f["sampled"] == json!(true) || f["skipped_epochs"].as_u64() != Some(0))
+        {
+            return Err(format!(
+                "figure {}: exact reports must not carry sampling artifacts",
+                f["figure"]
+            ));
+        }
+        if !f["sample_error_pct"].is_null() {
+            if f["sampled"] != json!(true) {
+                return Err(format!(
+                    "figure {}: sample_error_pct requires sampled: true",
+                    f["figure"]
+                ));
+            }
+            match f["sample_error_pct"].as_f64() {
+                Some(v) if v.is_finite() && v >= 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "figure {}: sample_error_pct must be a finite non-negative number",
+                        f["figure"]
+                    ))
+                }
             }
         }
         match f["wall_s"].as_f64() {
@@ -270,6 +463,8 @@ mod tests {
                     outcome: Outcome::Ok,
                     wall: Duration::from_millis(250),
                     accesses: 1000,
+                    sampled: false,
+                    skipped_epochs: 0,
                 },
                 crate::JobReport {
                     name: "figX".into(),
@@ -277,6 +472,8 @@ mod tests {
                     outcome: Outcome::Ok,
                     wall: Duration::from_millis(50),
                     accesses: 0,
+                    sampled: false,
+                    skipped_epochs: 0,
                 },
                 crate::JobReport {
                     name: "figY".into(),
@@ -284,6 +481,8 @@ mod tests {
                     outcome: Outcome::Failed("boom".into()),
                     wall: Duration::from_millis(100),
                     accesses: 77,
+                    sampled: false,
+                    skipped_epochs: 0,
                 },
                 crate::JobReport {
                     name: "tableZ".into(),
@@ -291,6 +490,8 @@ mod tests {
                     outcome: Outcome::Ok,
                     wall: Duration::from_millis(10),
                     accesses: 0,
+                    sampled: false,
+                    skipped_epochs: 0,
                 },
             ],
             stdout: String::new(),
@@ -298,6 +499,16 @@ mod tests {
             metrics: iat_telemetry::Metrics::new(),
             wall: Duration::from_millis(400),
         }
+    }
+
+    /// [`fake_output`] with every report successful, figX sampled.
+    fn fake_sampled_output() -> RunOutput {
+        let mut out = fake_output();
+        out.reports[2].outcome = Outcome::Ok;
+        out.reports[0].sampled = true;
+        out.reports[0].skipped_epochs = 9000;
+        out.reports[1].sampled = true;
+        out
     }
 
     #[test]
@@ -371,6 +582,94 @@ mod tests {
             })
             .collect();
         serde_json::to_value(&obj)
+    }
+
+    #[test]
+    fn sampled_report_carries_sampling_fields_and_errors() {
+        let out = fake_sampled_output();
+        let opts = RunOptions { sampled: true, ..RunOptions::default() };
+        let mut doc = bench_report(&out, &opts, "release");
+        validate(&doc).expect("sampled report must validate");
+        assert_eq!(doc["sampled"], true);
+        assert_eq!(doc["skipped_epochs"], 9000);
+        let figs = doc["figures"].as_array().unwrap();
+        assert_eq!(figs[0]["sampled"], true);
+        assert_eq!(figs[0]["skipped_epochs"], 9000);
+        assert_eq!(figs[1]["sampled"], false);
+
+        attach_sample_errors(&mut doc, &[("figX".to_owned(), 200.0, 203.0)]);
+        validate(&doc).expect("report with errors must validate");
+        let figs = doc["figures"].as_array().unwrap();
+        assert_eq!(figs[0]["headline_exact"], 200.0);
+        assert_eq!(figs[0]["headline_sampled"], 203.0);
+        let err = figs[0]["sample_error_pct"].as_f64().unwrap();
+        assert!((err - 1.5).abs() < 1e-9, "got {err}");
+        assert!(figs[1]["sample_error_pct"].is_null(), "untouched figure");
+    }
+
+    #[test]
+    fn exact_report_rejects_sampling_artifacts() {
+        let out = fake_sampled_output();
+        // The run claims exact but a figure fast-forwarded: reject.
+        let doc = bench_report(&out, &RunOptions::default(), "release");
+        assert!(validate(&doc).is_err());
+    }
+
+    #[test]
+    fn trajectory_dedups_on_fingerprint_and_caps() {
+        let out = fake_sampled_output();
+        let opts = RunOptions::default();
+        let mut out_exact = out;
+        for r in &mut out_exact.reports {
+            r.sampled = false;
+            r.skipped_epochs = 0;
+        }
+        let doc = bench_report(&out_exact, &opts, "release");
+        assert!(trajectory_eligible(&doc, &opts));
+        let sampled_doc = bench_report(
+            &fake_sampled_output(),
+            &RunOptions { sampled: true, ..RunOptions::default() },
+            "release",
+        );
+        assert!(
+            !trajectory_eligible(&sampled_doc, &RunOptions { sampled: true, ..RunOptions::default() }),
+            "sampled runs never extend the trajectory"
+        );
+
+        let t1 = trajectory_update(&Value::Null, &doc);
+        validate_trajectory(&t1).expect("self-emitted trajectory validates");
+        assert_eq!(t1["runs"].as_array().unwrap().len(), 1);
+        // Same fingerprint: re-running replaces instead of appending.
+        let t2 = trajectory_update(&t1, &doc);
+        assert_eq!(t2["runs"].as_array().unwrap().len(), 1);
+        // A changed workload fingerprint appends.
+        let mut out2 = fake_output();
+        out2.reports[2].outcome = Outcome::Ok;
+        out2.reports[2].accesses = 78;
+        let doc2 = bench_report(&out2, &opts, "release");
+        let t3 = trajectory_update(&t2, &doc2);
+        assert_eq!(t3["runs"].as_array().unwrap().len(), 2);
+        validate_trajectory(&t3).expect("two-record trajectory validates");
+        assert!(t3["runs"][0].get("schema").is_none(), "record drops the line schema tag");
+
+        assert!(validate_trajectory(&serde_json::json!({})).is_err());
+        assert!(validate_trajectory(&serde_json::json!({
+            "schema": TRAJECTORY_SCHEMA, "runs": [],
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn smoke_and_filtered_runs_stay_out_of_the_trajectory() {
+        let mut out = fake_output();
+        out.reports[2].outcome = Outcome::Ok;
+        let doc = bench_report(&out, &RunOptions::default(), "release");
+        let smoke = RunOptions { smoke: true, ..RunOptions::default() };
+        let only = RunOptions { only: vec!["figX".into()], ..RunOptions::default() };
+        assert!(!trajectory_eligible(&doc, &smoke));
+        assert!(!trajectory_eligible(&doc, &only));
+        let failed = bench_report(&fake_output(), &RunOptions::default(), "release");
+        assert!(!trajectory_eligible(&failed, &RunOptions::default()), "figY failed");
     }
 
     #[test]

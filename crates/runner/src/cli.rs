@@ -23,6 +23,7 @@ impl Default for RunOptions {
             smoke: false,
             root_seed: 0,
             slice_workers: None,
+            sampled: false,
             expected_costs: Vec::new(),
         }
     }
@@ -39,8 +40,8 @@ pub const USAGE: &str = "\
 repro — regenerate every figure/table capture under results/
 
 USAGE:
-    repro [--jobs N] [--slice-workers N] [--only NAME]... [--smoke]
-          [--check] [--seed N] [--list]
+    repro [--jobs N] [--slice-workers N] [--only NAME]... [--sampled]
+          [--smoke] [--check] [--seed N] [--list]
 
 OPTIONS:
     --jobs N     worker threads (default: min(cores, 8)); output is
@@ -52,6 +53,12 @@ OPTIONS:
                  output is byte-identical for every setting
     --only NAME  run one figure group (e.g. fig12) or a single job
                  (e.g. fig12/rocksdb); repeatable
+    --sampled    phase-aware interval sampling: jobs that declared
+                 eligibility fast-forward between representative
+                 warmed-up windows and extrapolate; outputs go to
+                 results/sampled/ with per-figure error bounds against
+                 the committed exact captures (exact mode, the default,
+                 stays the oracle)
     --smoke      run only the cheap deterministic subset and byte-compare
                  it against the committed captures (implies --check)
     --check      byte-compare regenerated outputs against results/
@@ -89,6 +96,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
             "--only" => {
                 cli.opts.only.push(it.next().ok_or("--only needs a value")?);
             }
+            "--sampled" => cli.opts.sampled = true,
             "--smoke" => {
                 cli.opts.smoke = true;
                 cli.check = true;
@@ -145,6 +153,13 @@ mod tests {
     fn smoke_implies_check() {
         let cli = parse_args(["--smoke".to_owned()]).unwrap();
         assert!(cli.opts.smoke && cli.check);
+    }
+
+    #[test]
+    fn parses_sampled() {
+        let cli = parse_args(["--sampled".to_owned()]).unwrap();
+        assert!(cli.opts.sampled);
+        assert!(!parse_args(Vec::new()).unwrap().opts.sampled, "exact is the default");
     }
 
     #[test]

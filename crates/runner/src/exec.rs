@@ -27,6 +27,12 @@ pub struct RunOptions {
     /// batch with exactly `n` flush workers. Results are byte-identical
     /// for every setting.
     pub slice_workers: Option<u32>,
+    /// Phase-aware interval sampling: jobs that declared eligibility
+    /// ([`crate::JobSpec::sampled`]) run the sampled execution path.
+    /// Unlike `slice_workers` this changes *outputs* (they become
+    /// extrapolated estimates), so sampled runs must never write over
+    /// the committed exact captures.
+    pub sampled: bool,
     /// Previous per-group job costs in seconds (typically loaded from the
     /// last `BENCH_repro.json`), used to order the ready queue
     /// longest-expected-first so the slowest figures don't straggle at
@@ -52,6 +58,12 @@ pub enum Outcome {
 /// sweep summary / bench report derive accesses-per-second from it.
 pub const ACCESSES_COUNTER: &str = "cachesim.accesses";
 
+/// Metrics-registry counter under which sampled jobs report how many
+/// epochs the platform fast-forwarded. Exact jobs report nothing; a
+/// *sampled* job reporting zero means sampling silently fell back to
+/// exact execution — `repro --sampled` treats that as an error.
+pub const SKIPPED_EPOCHS_COUNTER: &str = "platform.skipped_epochs";
+
 /// One job's execution record.
 #[derive(Debug, Clone)]
 pub struct JobReport {
@@ -65,6 +77,12 @@ pub struct JobReport {
     pub wall: Duration,
     /// Cache operations the job reported under [`ACCESSES_COUNTER`].
     pub accesses: u64,
+    /// Whether the job ran the sampled execution path (declared
+    /// eligible *and* the run passed `--sampled`).
+    pub sampled: bool,
+    /// Epochs fast-forwarded, as reported under
+    /// [`SKIPPED_EPOCHS_COUNTER`] (zero for exact jobs).
+    pub skipped_epochs: u64,
 }
 
 /// Everything a sweep produced, in registration order — independent of
@@ -164,6 +182,7 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
         name: String,
         group: String,
         deps: Vec<String>,
+        sampled: Option<iat_cachesim::config::SamplingSpec>,
     }
 
     let started = Instant::now();
@@ -184,6 +203,7 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
             name: j.name.clone(),
             group: j.group.clone(),
             deps: j.deps.clone(),
+            sampled: if opts.sampled { j.sampled } else { None },
         })
         .collect();
 
@@ -298,6 +318,11 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
                 // LLC flushes size their intra-job parallelism from
                 // whatever the inter-job workers leave over.
                 iat_cachesim::config::acquire_slot();
+                // Sampling is a thread-local property of simulations the
+                // body constructs, so it is set just for the body's
+                // duration — parallel jobs with different eligibility
+                // never see each other's level.
+                iat_cachesim::config::set_thread_sampling(job.sampled);
                 let t0 = Instant::now();
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)))
@@ -310,6 +335,7 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
                             Err(format!("panic: {msg}"))
                         });
                 let wall = t0.elapsed();
+                iat_cachesim::config::set_thread_sampling(None);
                 iat_cachesim::config::release_slot();
 
                 let mut s = state.lock().expect("runner lock");
@@ -373,6 +399,10 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
             accesses: sched.ctxs[i]
                 .as_ref()
                 .map_or(0, |ctx| ctx.metrics.counter(ACCESSES_COUNTER)),
+            sampled: metas[i].sampled.is_some(),
+            skipped_epochs: sched.ctxs[i]
+                .as_ref()
+                .map_or(0, |ctx| ctx.metrics.counter(SKIPPED_EPOCHS_COUNTER)),
         });
         if let Some(ctx) = sched.ctxs[i].take() {
             stdout.push_str(&ctx.out);
@@ -441,14 +471,20 @@ pub fn check_outputs(out: &RunOutput, dir: &Path) -> Vec<String> {
 
 /// Prints the wall-clock + per-figure cost summary to stderr, with
 /// simulated-access throughput where jobs reported it.
-pub fn print_summary(out: &RunOutput) {
-    let mut groups: Vec<(String, Duration, usize, u64, bool)> = Vec::new();
+///
+/// `expected` is the previous run's per-figure cost (typically
+/// [`RunOptions::expected_costs`], loaded from the last committed
+/// `BENCH_repro.json`); when a group has history, the `vs prev` column
+/// shows this run's speedup (`3.1x`) or slowdown (`0.8x`) against it.
+pub fn print_summary(out: &RunOutput, expected: &[(String, f64)]) {
+    let mut groups: Vec<(String, Duration, usize, u64, bool, bool)> = Vec::new();
     for r in &out.reports {
         match groups.iter_mut().find(|(g, ..)| g == &r.group) {
-            Some((_, wall, jobs, acc, ok)) => {
+            Some((_, wall, jobs, acc, sampled, ok)) => {
                 *wall += r.wall;
                 *jobs += 1;
                 *acc += r.accesses;
+                *sampled |= r.sampled;
                 *ok &= r.outcome == Outcome::Ok;
             }
             None => groups.push((
@@ -456,17 +492,18 @@ pub fn print_summary(out: &RunOutput) {
                 r.wall,
                 1,
                 r.accesses,
+                r.sampled,
                 r.outcome == Outcome::Ok,
             )),
         }
     }
     progress("");
-    progress("figure        jobs      cost   accesses   acc/s");
-    progress("-----------------------------------------------");
+    progress("figure        jobs      cost   accesses   acc/s  vs prev");
+    progress("--------------------------------------------------------");
     let mut busy = Duration::ZERO;
     let mut total_accesses = 0u64;
     let mut sim_busy = Duration::ZERO;
-    for (group, wall, jobs, accesses, ok) in &groups {
+    for (group, wall, jobs, accesses, sampled, ok) in &groups {
         busy += *wall;
         total_accesses += *accesses;
         // Access-free groups (static tables) have no meaningful
@@ -481,17 +518,25 @@ pub fn print_summary(out: &RunOutput) {
                 human_count((*accesses as f64 / wall.as_secs_f64().max(1e-9)) as u64),
             )
         };
+        let delta_col = expected
+            .iter()
+            .find(|(g, _)| g == group)
+            .map_or("-".to_owned(), |(_, prev)| {
+                format!("{:.1}x", prev / wall.as_secs_f64().max(1e-9))
+            });
         progress(&format!(
-            "{:<12} {:>5} {:>7.2} s {:>8} {:>7}{}",
+            "{:<12} {:>5} {:>7.2} s {:>8} {:>7} {:>7}{}{}",
             group,
             jobs,
             wall.as_secs_f64(),
             acc_col,
             rate_col,
+            delta_col,
+            if *sampled { "  [sampled]" } else { "" },
             if *ok { "" } else { "  [FAILED]" }
         ));
     }
-    progress("-----------------------------------------------");
+    progress("--------------------------------------------------------");
     progress(&format!(
         "wall {:.2} s, aggregate job cost {:.2} s ({:.2}x concurrency), {} files, {} msr writes traced",
         out.wall.as_secs_f64(),

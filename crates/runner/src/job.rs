@@ -2,6 +2,7 @@
 //! that holds the sweep's job graph.
 
 use crate::seed::derive_seed;
+use iat_cachesim::config::SamplingSpec;
 use iat_telemetry::Metrics;
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -16,6 +17,7 @@ pub struct JobSpec {
     pub(crate) group: String,
     pub(crate) deps: Vec<String>,
     pub(crate) smoke: bool,
+    pub(crate) sampled: Option<SamplingSpec>,
     pub(crate) run: Option<JobFn>,
 }
 
@@ -33,6 +35,7 @@ impl JobSpec {
             group: group.into(),
             deps: Vec::new(),
             smoke: false,
+            sampled: None,
             run: Some(Box::new(run)),
         }
     }
@@ -54,6 +57,21 @@ impl JobSpec {
         self
     }
 
+    /// Declares the job eligible for phase-aware interval sampling at
+    /// `level`. Only honoured when the run itself opts in
+    /// (`--sampled`); exact runs ignore the declaration entirely, so
+    /// committed captures never depend on it.
+    #[must_use]
+    pub fn sampled(mut self, spec: SamplingSpec) -> JobSpec {
+        self.sampled = Some(spec);
+        self
+    }
+
+    /// The sampling spec the job declared, if any.
+    pub fn sampling(&self) -> Option<SamplingSpec> {
+        self.sampled
+    }
+
     /// The job's unique name.
     pub fn name(&self) -> &str {
         &self.name
@@ -72,6 +90,7 @@ impl std::fmt::Debug for JobSpec {
             .field("group", &self.group)
             .field("deps", &self.deps)
             .field("smoke", &self.smoke)
+            .field("sampled", &self.sampled)
             .finish_non_exhaustive()
     }
 }

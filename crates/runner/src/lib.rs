@@ -35,13 +35,14 @@ mod job;
 pub mod seed;
 
 pub use bench_report::{
-    bench_report, expected_costs, history_record, validate as validate_bench_report,
-    validate_history, BENCH_SCHEMA, HISTORY_SCHEMA,
+    attach_sample_errors, bench_report, expected_costs, history_record, trajectory_eligible,
+    trajectory_update, validate as validate_bench_report, validate_history, validate_trajectory,
+    BENCH_SCHEMA, HISTORY_SCHEMA, TRAJECTORY_SCHEMA,
 };
 pub use cli::{default_jobs, parse_args, Cli, USAGE};
 pub use exec::{
     check_outputs, print_summary, progress, run, write_outputs, JobReport, Outcome, RunOptions,
-    RunOutput, ACCESSES_COUNTER,
+    RunOutput, ACCESSES_COUNTER, SKIPPED_EPOCHS_COUNTER,
 };
 pub use job::{JobCtx, JobFn, JobSpec, Registry};
 pub use seed::derive_seed;

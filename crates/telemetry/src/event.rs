@@ -110,6 +110,17 @@ pub enum Event {
         /// Ring capacity, in descriptors.
         capacity: u32,
     },
+    /// The sampled execution path detected a workload phase boundary
+    /// (only sampled runs emit these; exact runs have no profiler).
+    PhaseBoundary {
+        stamp: Stamp,
+        /// Sampling interval index at which the boundary fell.
+        interval: u64,
+        /// Phase id entered (first-appearance order).
+        phase: u32,
+        /// `true` when this phase was first discovered at this boundary.
+        novel: bool,
+    },
     /// One daemon iteration's outcome: the per-iteration decision trace.
     Decision {
         stamp: Stamp,
@@ -138,6 +149,7 @@ impl Event {
             Event::MaskWrite { .. } => "mask_write",
             Event::NicDrop { .. } => "nic_drop",
             Event::RingOccupancy { .. } => "ring_occupancy",
+            Event::PhaseBoundary { .. } => "phase_boundary",
             Event::Decision { .. } => "decision",
         }
     }
@@ -153,6 +165,7 @@ impl Event {
             | Event::MaskWrite { stamp, .. }
             | Event::NicDrop { stamp, .. }
             | Event::RingOccupancy { stamp, .. }
+            | Event::PhaseBoundary { stamp, .. }
             | Event::Decision { stamp, .. } => *stamp,
         }
     }
@@ -200,6 +213,11 @@ impl Event {
                 "vf": *vf,
                 "len": *len,
                 "capacity": *capacity,
+            }),
+            Event::PhaseBoundary { interval, phase, novel, .. } => json!({
+                "interval": *interval,
+                "phase": *phase,
+                "novel": *novel,
             }),
             Event::Decision { state, action, stable, msr_writes, cost_ns, .. } => json!({
                 "state": state.as_str(),
@@ -298,6 +316,12 @@ impl Event {
                 len: u64_field(v, "len")? as u32,
                 capacity: u64_field(v, "capacity")? as u32,
             }),
+            "phase_boundary" => Ok(Event::PhaseBoundary {
+                stamp,
+                interval: u64_field(v, "interval")?,
+                phase: u64_field(v, "phase")? as u32,
+                novel: bool_field(v, "novel")?,
+            }),
             "decision" => Ok(Event::Decision {
                 stamp,
                 state: str_field(v, "state")?,
@@ -362,6 +386,10 @@ impl fmt::Display for Event {
             Event::RingOccupancy { vf, len, capacity, .. } => {
                 write!(f, "ring      vf {vf} high-water {len}/{capacity}")
             }
+            Event::PhaseBoundary { interval, phase, novel, .. } => {
+                let tag = if *novel { "novel" } else { "revisit" };
+                write!(f, "phase     interval {interval} -> phase {phase} ({tag})")
+            }
             Event::Decision { state, action, stable, msr_writes, .. } => {
                 write!(
                     f,
@@ -413,6 +441,7 @@ mod tests {
             Event::MaskWrite { stamp, target: "iio".into(), clos: 0, mask: 0x600 },
             Event::NicDrop { stamp, vf: 1, dropped: 42 },
             Event::RingOccupancy { stamp, vf: 1, len: 900, capacity: 1024 },
+            Event::PhaseBoundary { stamp, interval: 12, phase: 1, novel: true },
             Event::Decision {
                 stamp,
                 state: "io-demand".into(),

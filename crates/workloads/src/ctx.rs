@@ -96,6 +96,7 @@ pub struct ExecCtx<'a> {
 impl ExecCtx<'_> {
     /// Convenience: performs a core read and returns its cycle cost.
     pub fn read(&mut self, addr: u64) -> u32 {
+        crate::phase::observe(addr);
         self.hierarchy.core_access_cycles(
             self.core,
             self.agent,
@@ -107,6 +108,7 @@ impl ExecCtx<'_> {
 
     /// Convenience: performs a core write and returns its cycle cost.
     pub fn write(&mut self, addr: u64) -> u32 {
+        crate::phase::observe(addr);
         self.hierarchy.core_access_cycles(
             self.core,
             self.agent,
@@ -114,6 +116,19 @@ impl ExecCtx<'_> {
             addr,
             iat_cachesim::CoreOp::Write,
         )
+    }
+
+    /// Whether application-level metrics (op counts, latency samples, drop
+    /// counters) should accrue for work done now.
+    ///
+    /// `false` only during the functional-warmup epochs of a sampled run,
+    /// when the hierarchy's statistics are frozen: the cache and the rings
+    /// still evolve, but warmup work must not contaminate measured-window
+    /// metrics. Functional state (RNGs, rings, tables) is **never** gated
+    /// on this — only metric accrual is.
+    #[inline]
+    pub fn accrue(&self) -> bool {
+        !self.hierarchy.stats_frozen()
     }
 
     /// Whether workloads should issue windows of accesses through the
@@ -138,6 +153,7 @@ impl ExecCtx<'_> {
     /// element.
     #[inline]
     pub fn access_batch(&mut self, ops: &[(u64, iat_cachesim::CoreOp)], costs: &mut Vec<u32>) {
+        crate::phase::observe_ops(ops);
         self.hierarchy.core_access_cycles_batch(self.core, self.agent, self.mask, ops, costs);
     }
 }

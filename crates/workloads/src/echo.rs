@@ -58,6 +58,7 @@ impl Workload for ChannelEcho {
         let mask = ctx.mask;
         let mut used = 0u64;
         let mut instructions = 0u64;
+        let accrue = ctx.accrue();
         while used < ctx.cycle_budget {
             let h = &mut *ctx.hierarchy;
             let channels = &mut *ctx.channels;
@@ -73,14 +74,18 @@ impl Workload for ChannelEcho {
             // Touch the header, re-post zero-copy.
             cost += h.core_access_cycles(core, agent, mask, buf, CoreOp::Read) as u64;
             let tx = &mut channels.get_mut(self.tx).ring;
-            if tx.push(PacketSlot::with_ext_buf(slot.flow, slot.size, buf)).is_some() {
-                self.forwarded += 1;
-            } else {
-                self.drops += 1;
+            let pushed =
+                tx.push(PacketSlot::with_ext_buf(slot.flow, slot.size, buf)).is_some();
+            if accrue {
+                if pushed {
+                    self.forwarded += 1;
+                } else {
+                    self.drops += 1;
+                }
+                self.latency.record(cost);
             }
             used += cost;
             instructions += PKT_INSTR;
-            self.latency.record(cost);
         }
         ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) }
     }

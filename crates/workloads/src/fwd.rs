@@ -79,6 +79,7 @@ impl Workload for TestPmd {
     fn run(&mut self, ctx: &mut ExecCtx<'_>) -> ExecResult {
         let mut used = 0u64;
         let mut instructions = 0u64;
+        let accrue = ctx.accrue();
         if !ctx.batching() {
             // Serial reference oracle (`--slice-workers 0`).
             while used < ctx.cycle_budget {
@@ -100,11 +101,15 @@ impl Workload for TestPmd {
                     let port = &mut self.ports[p];
                     if let Some(tx_idx) = port.tx.push(tx_slot) {
                         cost += ctx.write(port.tx.desc_addr(tx_idx)) as u64;
-                        self.forwarded += 1;
+                        if accrue {
+                            self.forwarded += 1;
+                        }
                     }
                     used += cost;
                     instructions += TESTPMD_PKT_INSTR;
-                    self.latency.record(cost);
+                    if accrue {
+                        self.latency.record(cost);
+                    }
                 }
                 if !progress {
                     let (i, c) = busy_poll(ctx.cycle_budget - used);
@@ -152,7 +157,9 @@ impl Workload for TestPmd {
                 let tx_slot = PacketSlot::with_ext_buf(slot.flow, slot.size, buf);
                 if let Some(tx_idx) = port.tx.push(tx_slot) {
                     win.write(port.tx.desc_addr(tx_idx));
-                    self.forwarded += 1;
+                    if accrue {
+                        self.forwarded += 1;
+                    }
                 }
                 win.end_item();
                 instructions += TESTPMD_PKT_INSTR;
@@ -244,6 +251,7 @@ impl Workload for L3Fwd {
     fn run(&mut self, ctx: &mut ExecCtx<'_>) -> ExecResult {
         let mut used = 0u64;
         let mut instructions = 0u64;
+        let accrue = ctx.accrue();
         if !ctx.batching() {
             // Serial reference oracle (`--slice-workers 0`).
             while used < ctx.cycle_budget {
@@ -263,11 +271,15 @@ impl Workload for L3Fwd {
                 let tx_slot = PacketSlot::with_ext_buf(slot.flow, slot.size, buf);
                 if let Some(tx_idx) = self.vf.tx.push(tx_slot) {
                     cost += ctx.write(self.vf.tx.desc_addr(tx_idx)) as u64;
-                    self.forwarded += 1;
+                    if accrue {
+                        self.forwarded += 1;
+                    }
                 }
                 used += cost;
                 instructions += L3FWD_PKT_INSTR;
-                self.latency.record(cost);
+                if accrue {
+                    self.latency.record(cost);
+                }
             }
             return ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) };
         }
@@ -298,7 +310,9 @@ impl Workload for L3Fwd {
             let tx_slot = PacketSlot::with_ext_buf(slot.flow, slot.size, buf);
             if let Some(tx_idx) = self.vf.tx.push(tx_slot) {
                 win.write(self.vf.tx.desc_addr(tx_idx));
-                self.forwarded += 1;
+                if accrue {
+                    self.forwarded += 1;
+                }
             }
             win.end_item();
             instructions += L3FWD_PKT_INSTR;

@@ -132,6 +132,7 @@ impl Workload for KvStore {
         let mask = ctx.mask;
         let mut used = 0u64;
         let mut instructions = 0u64;
+        let accrue = ctx.accrue();
         while used < ctx.cycle_budget {
             let h = &mut *ctx.hierarchy;
             let channels = &mut *ctx.channels;
@@ -200,10 +201,12 @@ impl Workload for KvStore {
             }
             used += cost;
             instructions += REQ_INSTR * touch_keys.len().max(1) as u64;
-            self.ops += 1;
-            self.latency.record(cost);
-            if op == OpKind::Read {
-                self.read_latency.record(cost);
+            if accrue {
+                self.ops += 1;
+                self.latency.record(cost);
+                if op == OpKind::Read {
+                    self.read_latency.record(cost);
+                }
             }
         }
         ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) }

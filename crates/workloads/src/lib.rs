@@ -34,6 +34,7 @@ mod kvs;
 mod latency;
 mod nfchain;
 mod ovs;
+pub mod phase;
 mod region;
 mod rocks;
 mod spec;

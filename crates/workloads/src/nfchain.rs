@@ -94,6 +94,7 @@ impl Workload for NfChain {
     fn run(&mut self, ctx: &mut ExecCtx<'_>) -> ExecResult {
         let mut used = 0u64;
         let mut instructions = 0u64;
+        let accrue = ctx.accrue();
         while used < ctx.cycle_budget {
             let mut progress = false;
             for p in 0..self.ports.len() {
@@ -120,11 +121,15 @@ impl Workload for NfChain {
                 let tx_slot = PacketSlot::with_ext_buf(slot.flow, slot.size, buf);
                 if let Some(tidx) = self.ports[p].tx.push(tx_slot) {
                     cost += ctx.write(self.ports[p].tx.desc_addr(tidx)) as u64;
-                    self.processed += 1;
+                    if accrue {
+                        self.processed += 1;
+                    }
                 }
                 used += cost;
                 instructions += CHAIN_INSTR;
-                self.latency.record(cost);
+                if accrue {
+                    self.latency.record(cost);
+                }
             }
             if !progress {
                 let iters = (ctx.cycle_budget - used) / POLL_CYCLES;

@@ -113,6 +113,7 @@ impl OvsSwitch {
 
     /// Looks a flow up: returns `(cycle_cost, instructions)`, touching the
     /// EMC line and, on a miss, the megaflow entry.
+    #[allow(clippy::too_many_arguments)]
     fn lookup(
         &mut self,
         h: &mut MemoryHierarchy,
@@ -120,6 +121,7 @@ impl OvsSwitch {
         agent: AgentId,
         mask: WayMask,
         flow: u32,
+        accrue: bool,
     ) -> (u64, u64) {
         let key = flow as u64;
         let slot = self.emc.slot_of_key(key) as usize;
@@ -128,9 +130,13 @@ impl OvsSwitch {
                 as u64;
         let mut instr = PKT_INSTR;
         if self.emc_tags[slot] == flow {
-            self.emc_hits += 1;
+            if accrue {
+                self.emc_hits += 1;
+            }
         } else {
-            self.emc_misses += 1;
+            if accrue {
+                self.emc_misses += 1;
+            }
             cost += MEGAFLOW_CYCLES;
             instr += MEGAFLOW_INSTR;
             // Wildcard lookup walks the megaflow table, then installs the
@@ -192,6 +198,7 @@ impl Workload for OvsSwitch {
         let mask = ctx.mask;
         let mut used = 0u64;
         let mut instructions = 0u64;
+        let accrue = ctx.accrue();
 
         while used < ctx.cycle_budget {
             let mut progress = false;
@@ -208,7 +215,7 @@ impl Workload for OvsSwitch {
                 let mut cost =
                     h.core_access_cycles(core, agent, mask, self.ports[p].rx.desc_addr(idx), CoreOp::Read)
                         as u64;
-                let (lk_cost, lk_instr) = self.lookup(h, core, agent, mask, slot.flow.0);
+                let (lk_cost, lk_instr) = self.lookup(h, core, agent, mask, slot.flow.0, accrue);
                 cost += lk_cost;
                 let att = self.attachments[p % self.attachments.len()];
                 let chan = &mut channels.get_mut(att.to_tenant).ring;
@@ -217,13 +224,17 @@ impl Workload for OvsSwitch {
                     let src = self.ports[p].rx.buf_addr(idx);
                     cost +=
                         copy_lines(h, core, agent, mask, src, dst, slot.payload_lines());
-                    self.forwarded += 1;
-                } else {
+                    if accrue {
+                        self.forwarded += 1;
+                    }
+                } else if accrue {
                     self.chan_drops += 1;
                 }
                 used += cost;
                 instructions += lk_instr;
-                self.latency.record(cost);
+                if accrue {
+                    self.latency.record(cost);
+                }
             }
 
             // Outbound: tenant channel -> port Tx (one copy into the mbuf).
@@ -235,7 +246,7 @@ impl Workload for OvsSwitch {
                 let Some((cidx, slot)) = chan.pop() else { continue };
                 progress = true;
                 let src = slot.ext_buf.unwrap_or_else(|| chan.buf_addr(cidx));
-                let (lk_cost, lk_instr) = self.lookup(h, core, agent, mask, slot.flow.0);
+                let (lk_cost, lk_instr) = self.lookup(h, core, agent, mask, slot.flow.0, accrue);
                 let mut cost = lk_cost;
                 let port_idx = i % self.ports.len();
                 let port = &mut self.ports[port_idx];
@@ -245,13 +256,17 @@ impl Workload for OvsSwitch {
                     cost += h
                         .core_access_cycles(core, agent, mask, port.tx.desc_addr(tidx), CoreOp::Write)
                         as u64;
-                    self.forwarded += 1;
-                } else {
+                    if accrue {
+                        self.forwarded += 1;
+                    }
+                } else if accrue {
                     self.chan_drops += 1;
                 }
                 used += cost;
                 instructions += lk_instr;
-                self.latency.record(cost);
+                if accrue {
+                    self.latency.record(cost);
+                }
             }
 
             if !progress {

@@ -182,6 +182,7 @@ impl Workload for RocksLike {
     fn run(&mut self, ctx: &mut ExecCtx<'_>) -> ExecResult {
         let mut used = 0u64;
         let mut instructions = 0u64;
+        let accrue = ctx.accrue();
         while used < ctx.cycle_budget {
             let u = (self.next_rand() >> 11) as f64 / (1u64 << 53) as f64;
             let op = self.mix.pick(u);
@@ -189,8 +190,10 @@ impl Workload for RocksLike {
             let cost = self.execute(ctx, op, key);
             used += cost;
             instructions += OP_INSTR;
-            self.ops += 1;
-            self.latency.record(cost);
+            if accrue {
+                self.ops += 1;
+                self.latency.record(cost);
+            }
         }
         ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) }
     }

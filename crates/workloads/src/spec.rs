@@ -165,6 +165,7 @@ impl Workload for SpecWorkload {
         let compute = (BLOCK_INSTR as f64 / self.profile.base_ipc) as u64;
         let mut used = 0u64;
         let mut instructions = 0u64;
+        let accrue = ctx.accrue();
         while used < ctx.cycle_budget {
             let mut cost = compute;
             let exact = self.profile.apki as f64 + self.access_residue;
@@ -190,7 +191,9 @@ impl Workload for SpecWorkload {
             }
             used += cost;
             instructions += BLOCK_INSTR;
-            self.blocks += 1;
+            if accrue {
+                self.blocks += 1;
+            }
         }
         ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) }
     }

@@ -89,6 +89,7 @@ impl AccessWindow {
             return;
         }
         ctx.access_batch(&self.ops, &mut self.costs);
+        let accrue = ctx.accrue();
         let mut ci = 0usize;
         for &(fixed, n) in &self.items {
             let mut cost = fixed;
@@ -97,7 +98,9 @@ impl AccessWindow {
                 ci += 1;
             }
             *used += cost;
-            latency.record(cost);
+            if accrue {
+                latency.record(cost);
+            }
         }
         debug_assert_eq!(ci, self.costs.len());
         self.ops.clear();

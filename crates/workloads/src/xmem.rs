@@ -99,6 +99,7 @@ impl Workload for XMem {
         let lines = self.working_set / LINE_BYTES;
         let mut used = 0u64;
         let mut instructions = 0u64;
+        let accrue = ctx.accrue();
         if !ctx.batching() {
             // Serial reference oracle (`--slice-workers 0`).
             while used < ctx.cycle_budget {
@@ -106,8 +107,10 @@ impl Workload for XMem {
                 let cost = ctx.read(self.base + line * LINE_BYTES) as u64 + COMPUTE_CYCLES;
                 used += cost;
                 instructions += INSTR_PER_OP;
-                self.ops += 1;
-                self.latency.record(cost);
+                if accrue {
+                    self.ops += 1;
+                    self.latency.record(cost);
+                }
             }
             return ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) };
         }
@@ -133,8 +136,10 @@ impl Workload for XMem {
                 let cost = c as u64 + COMPUTE_CYCLES;
                 used += cost;
                 instructions += INSTR_PER_OP;
-                self.ops += 1;
-                self.latency.record(cost);
+                if accrue {
+                    self.ops += 1;
+                    self.latency.record(cost);
+                }
             }
         }
         self.ops_buf = ops_buf;

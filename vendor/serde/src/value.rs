@@ -152,8 +152,24 @@ impl Value {
         }
     }
 
+    /// The value as a mutable array, if it is one.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
     /// The value as an object, if it is one.
     pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as a mutable object, if it is one.
+    pub fn as_object_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
         match self {
             Value::Object(m) => Some(m),
             _ => None,
@@ -273,6 +289,20 @@ impl std::ops::Index<&str> for Value {
     type Output = Value;
     fn index(&self, key: &str) -> &Value {
         self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// serde_json semantics: indexing a `Null` turns it into an empty
+    /// object, and a missing key is inserted as `Null`.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if self.is_null() {
+            *self = Value::Object(BTreeMap::new());
+        }
+        match self {
+            Value::Object(m) => m.entry(key.to_owned()).or_insert(Value::Null),
+            other => panic!("cannot mutably index {other:?} with key {key:?}"),
+        }
     }
 }
 
