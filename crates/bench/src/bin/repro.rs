@@ -78,6 +78,14 @@ fn main() {
         if cli.opts.smoke { ", smoke subset" } else { "" },
         if cli.check { ", check mode" } else { "" },
     ));
+    // Arm observability before any job runs: the span tracer feeds the
+    // Chrome trace export, the decision capture feeds the per-group
+    // flight-recorder logs. Both are observational — staged outputs stay
+    // byte-identical (pinned by the traced-vs-untraced identity test).
+    if cli.opts.trace_out.is_some() {
+        iat_telemetry::span::install_global();
+        iat_telemetry::decision::set_capture(true);
+    }
     let out = run(reg, &cli.opts);
     print!("{}", out.stdout);
 
@@ -102,6 +110,65 @@ fn main() {
     }
 
     print_summary(&out, &cli.opts.expected_costs);
+
+    // Traced runs export the span timeline (Chrome trace-event JSON,
+    // loadable in Perfetto) and one decision flight-recorder log per
+    // figure group. Both are written even under --check: they are
+    // diagnostics, never staged captures.
+    if let Some(trace_path) = &cli.opts.trace_out {
+        let tracer = iat_telemetry::span::global();
+        match tracer.export_chrome_trace() {
+            Some(json) => match std::fs::write(trace_path, json) {
+                Ok(()) => progress(&format!(
+                    "wrote {} ({} span(s), {} dropped)",
+                    trace_path.display(),
+                    tracer.len(),
+                    tracer.dropped()
+                )),
+                Err(e) => {
+                    progress(&format!("error: writing {}: {e}", trace_path.display()));
+                    exit = 1;
+                }
+            },
+            None => {
+                progress("error: span tracer did not install");
+                exit = 1;
+            }
+        }
+        let decisions_dir = dir.join("decisions");
+        if let Err(e) = std::fs::create_dir_all(&decisions_dir) {
+            progress(&format!("error: creating {}: {e}", decisions_dir.display()));
+            exit = 1;
+        } else {
+            let mut groups: Vec<&str> = Vec::new();
+            for r in &out.reports {
+                if !groups.contains(&r.group.as_str()) {
+                    groups.push(&r.group);
+                }
+            }
+            for group in groups {
+                let path = decisions_dir.join(format!("{group}.jsonl"));
+                let write = std::fs::File::create(&path).map(|f| {
+                    let mut rec = iat_telemetry::JsonlRecorder::new(std::io::BufWriter::new(f));
+                    let mut n = 0usize;
+                    for r in out.reports.iter().filter(|r| r.group == group) {
+                        for ev in &r.decisions {
+                            iat_telemetry::Recorder::record(&mut rec, ev.clone());
+                            n += 1;
+                        }
+                    }
+                    n
+                });
+                match write {
+                    Ok(n) => progress(&format!("wrote {} ({n} record(s))", path.display())),
+                    Err(e) => {
+                        progress(&format!("error: writing {}: {e}", path.display()));
+                        exit = 1;
+                    }
+                }
+            }
+        }
+    }
 
     // Sampled runs are graded against the committed exact captures: every
     // declared figure's headline metric must land within its error bound,
@@ -179,6 +246,18 @@ fn main() {
             progress(&format!("error: writing {}: {e}", bench_path.display()));
             exit = 1;
         }
+    }
+
+    // The same run metrics in Prometheus text exposition format, for
+    // scraping or ad-hoc `grep`. Like the bench report it is written on
+    // every run and never byte-compared (gitignored).
+    let prom_path = dir.join("BENCH_metrics.prom");
+    let prom = iat_telemetry::render_prometheus(&out.metrics.snapshot());
+    if let Err(e) = std::fs::write(&prom_path, prom) {
+        progress(&format!("error: writing {}: {e}", prom_path.display()));
+        exit = 1;
+    } else {
+        progress(&format!("wrote {}", prom_path.display()));
     }
 
     // One compact line per run accumulates in BENCH_history.jsonl (gitignored

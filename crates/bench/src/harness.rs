@@ -43,6 +43,11 @@ impl Managed {
     ) -> Self {
         let spec = platform.monitor_spec();
         let monitor = Monitor::new(spec, DdioSampleMode::OneSlice(0));
+        if iat_telemetry::decision::capture_enabled() {
+            let seed: Vec<(u16, u8)> =
+                tenants.iter().map(|t| (t.agent.index(), t.initial_ways)).collect();
+            iat_telemetry::decision::seed_thread(platform.rdt().ddio_ways(), &seed);
+        }
         policy.set_tenants(tenants, platform.rdt_mut());
         let epochs_per_interval = (interval_ns / platform.config().epoch_ns).max(1) as usize;
         Managed {
@@ -72,7 +77,15 @@ impl Managed {
     /// Runs one policy interval: platform epochs, then a poll, then the
     /// policy step. Returns the policy's report.
     pub fn step_interval(&mut self) -> StepReport {
-        self.step_interval_traced(&mut iat_telemetry::NullRecorder)
+        // Under `repro --trace-out` every otherwise-untraced interval is
+        // folded into the thread's decision flight recorder. Recorders
+        // are observational (pinned by the traced-vs-untraced
+        // bit-identity test), so captures never perturb figure outputs.
+        if iat_telemetry::decision::capture_enabled() {
+            iat_telemetry::decision::with_thread(|rec| self.step_interval_traced(rec))
+        } else {
+            self.step_interval_traced(&mut iat_telemetry::NullRecorder)
+        }
     }
 
     /// [`Managed::step_interval`] with a structured trace: the poll

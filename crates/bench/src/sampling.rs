@@ -310,6 +310,8 @@ mod tests {
             accesses: 10,
             sampled: true,
             skipped_epochs: skipped,
+            phases: iat_telemetry::PhaseBreakdown::default(),
+            decisions: Vec::new(),
         };
         let staged = |pps: f64| {
             serde_json::to_string(&json!([{ "forwarded_pps": pps }]))

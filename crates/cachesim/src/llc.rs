@@ -32,6 +32,9 @@ use crate::memory::MemCounters;
 use crate::shard::{BatchEntry, BatchKind, DirectSink, FrozenSink, SliceShard};
 use crate::stats::{AccessOutcome, IoOutcome, LlcStats};
 use crate::line_of;
+use iat_telemetry::phases::{self, Phase};
+use iat_telemetry::span;
+use serde_json::{json, Value};
 
 /// Kind of a core-initiated access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,6 +59,12 @@ pub struct BatchHandle {
 /// only wall clock differs). Workload windows are tens of operations —
 /// only large DMA bursts cross this line.
 const PAR_MIN_OPS: u32 = 256;
+
+/// Minimum batch size whose flush is wall-clock timed into the
+/// [`iat_telemetry::phases`] flush bucket. Tiny flushes (epoch
+/// boundaries with little traffic) skip the two `Instant::now` calls so
+/// phase accounting cannot dominate them.
+const FLUSH_TIMING_MIN_OPS: u32 = 64;
 
 /// A shared last-level cache with CAT-style way partitioning and DDIO.
 ///
@@ -497,9 +506,18 @@ impl Llc {
             self.flushed = true;
             return;
         }
+        let timed = self.pending_ops >= FLUSH_TIMING_MIN_OPS;
+        let t0 = timed.then(std::time::Instant::now);
+        let tracer = (timed && span::global_enabled()).then(span::global);
         let workers = config::flush_workers();
         if workers > 1 && self.pending_ops >= PAR_MIN_OPS {
             let lanes = workers.min(self.shards.len());
+            let ops = self.pending_ops;
+            let _flush_span = tracer.as_ref().map(|t| {
+                t.begin("llc", "llc.flush")
+                    .arg("ops", Value::from(ops))
+                    .arg("lanes", Value::from(lanes as u64))
+            });
             std::thread::scope(|s| {
                 let mut parts: Vec<Vec<&mut SliceShard>> =
                     (0..lanes).map(|_| Vec::new()).collect();
@@ -512,9 +530,21 @@ impl Llc {
                 let mine = parts.next().unwrap_or_default();
                 for part in parts {
                     if !part.is_empty() {
+                        let tracer = tracer.clone();
                         s.spawn(move || {
+                            let w0 = tracer.as_ref().map(|_| std::time::Instant::now());
+                            let lane_ops: usize = part.iter().map(|sh| sh.queue.len()).sum();
                             for shard in part {
                                 shard.process();
+                            }
+                            if let (Some(t), Some(w0)) = (&tracer, w0) {
+                                t.record(
+                                    "llc",
+                                    "llc.flush.worker",
+                                    w0,
+                                    std::time::Instant::now(),
+                                    json!({ "ops": lane_ops }),
+                                );
                             }
                         });
                     }
@@ -533,6 +563,9 @@ impl Llc {
         self.merge_deltas();
         self.pending_ops = 0;
         self.flushed = true;
+        if let Some(t0) = t0 {
+            phases::phase_add(Phase::Flush, t0.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Whether the operation behind `handle` hit in the LLC. Valid between

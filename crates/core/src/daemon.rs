@@ -167,6 +167,15 @@ impl IatDaemon {
         self.way_counts[idx]
     }
 
+    /// Current per-tenant way counts, in daemon (registration) order.
+    ///
+    /// Empty until [`IatDaemon::set_tenants`] runs. This is the
+    /// allocation vector observability consumers (the decision flight
+    /// recorder, dashboards) snapshot per iteration.
+    pub fn way_counts(&self) -> &[u8] {
+        &self.way_counts
+    }
+
     /// **Get Tenant Info + LLC Alloc** (steps 1–2): registers the tenant
     /// set and programs the initial layout.
     ///
@@ -747,6 +756,19 @@ mod tests {
         assert_eq!(m0.count(), 2);
         assert_eq!(m1.count(), 2);
         assert!(!m0.overlaps(m1));
+    }
+
+    #[test]
+    fn way_counts_track_tenant_allocation() {
+        let mut rdt = Rdt::new(11, 8);
+        let mut d = IatDaemon::new(IatConfig::paper(), IatFlags::full(), 11);
+        assert!(d.way_counts().is_empty());
+        d.set_tenants(
+            vec![tenant(0, Priority::Pc, true, 3), tenant(1, Priority::Be, false, 2)],
+            &mut rdt,
+        );
+        assert_eq!(d.way_counts(), &[3, 2]);
+        assert_eq!(d.way_counts()[0], d.tenant_ways(0));
     }
 
     #[test]

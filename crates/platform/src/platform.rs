@@ -6,8 +6,12 @@ use crate::tenant::{Tenant, TenantId};
 use iat_cachesim::{Llc, MemoryHierarchy};
 use iat_perf::{CounterBank, MonitorSpec, TenantSpec};
 use iat_rdt::Rdt;
+use iat_telemetry::phases::{self, Phase};
+use iat_telemetry::span::{self, SpanTracer};
 use iat_telemetry::{Event, Recorder, Stamp};
 use iat_workloads::phase;
+use serde_json::json;
+use std::time::Instant;
 use iat_workloads::phase::PhaseBoundary;
 use iat_workloads::{Channels, ExecCtx, WorkloadMetrics};
 use std::cell::Cell;
@@ -106,6 +110,24 @@ pub struct Platform {
     /// scenario *setup* is part of the initial state (covered by
     /// `cold_start_epochs`), not a mid-run capacity event.
     epochs_started: bool,
+    /// The global span tracer, cached at construction (disabled unless
+    /// `repro --trace-out` installed one before this platform was built).
+    tracer: SpanTracer,
+    /// The open epoch-action segment, if tracing. One span is emitted
+    /// per contiguous run of same-action epochs (capped at one sampling
+    /// interval), not per epoch — million-epoch sweeps would otherwise
+    /// drown the trace.
+    seg: Option<EpochSegment>,
+}
+
+/// An open span over a contiguous run of same-action epochs.
+struct EpochSegment {
+    /// "epoch.skip", "epoch.warm", or "epoch.measure".
+    name: &'static str,
+    start: Instant,
+    /// Modelled time when the segment opened.
+    vt_start_ns: u64,
+    epochs: u64,
 }
 
 impl Drop for Platform {
@@ -114,6 +136,7 @@ impl Drop for Platform {
         if let Some(s) = &self.sampler {
             SKIPPED_EPOCHS.with(|c| c.set(c.get() + s.skipped_epochs()));
         }
+        self.flush_segment();
     }
 }
 
@@ -151,7 +174,44 @@ impl Platform {
             occupancy_stale: false,
             last_capacity_gen: 0,
             epochs_started: false,
+            tracer: span::global(),
+            seg: None,
         }
+    }
+
+    /// Closes the open epoch-action segment, emitting its span.
+    fn flush_segment(&mut self) {
+        if let Some(seg) = self.seg.take() {
+            self.tracer.record(
+                "epoch",
+                seg.name,
+                seg.start,
+                Instant::now(),
+                json!({
+                    "epochs": seg.epochs,
+                    "vt_start_ns": seg.vt_start_ns,
+                    "vt_end_ns": self.time_ns,
+                }),
+            );
+        }
+    }
+
+    /// Accounts one epoch of `action` to the open segment, closing it
+    /// first on an action change or after a full sampling interval.
+    fn segment_epoch(&mut self, name: &'static str) {
+        let cap = self.sampling_interval_len();
+        if self.seg.as_ref().is_some_and(|s| s.name != name || s.epochs >= cap) {
+            self.flush_segment();
+        }
+        let vt = self.time_ns;
+        self.seg
+            .get_or_insert_with(|| EpochSegment {
+                name,
+                start: Instant::now(),
+                vt_start_ns: vt,
+                epochs: 0,
+            })
+            .epochs += 1;
     }
 
     /// The configuration.
@@ -328,26 +388,40 @@ impl Platform {
                 s.begin_epoch(refs, misses)
             }
         };
+        if self.tracer.enabled() {
+            self.segment_epoch(match action {
+                EpochAction::Skip => "epoch.skip",
+                EpochAction::Warm => "epoch.warm",
+                EpochAction::Measure => "epoch.measure",
+            });
+        }
         let report = match action {
             EpochAction::Skip => {
                 EpochReport { time_ns: self.time_ns, ..EpochReport::default() }
             }
             EpochAction::Warm => {
+                let t0 = Instant::now();
                 self.hierarchy.set_stats_frozen(true);
                 phase::set_observing(true);
                 self.exec_epoch(false);
                 phase::set_observing(false);
                 self.hierarchy.set_stats_frozen(false);
                 self.occupancy_stale = true;
+                phases::phase_add(Phase::Warmup, t0.elapsed().as_nanos() as u64);
                 EpochReport { time_ns: self.time_ns, ..EpochReport::default() }
             }
             EpochAction::Measure => {
+                let t0 = Instant::now();
                 let observe = self.sampler.is_some();
                 if observe {
                     if self.occupancy_stale {
                         // Warm epochs froze per-agent occupancy while the
                         // cache body kept evolving; recount from contents
                         // so the measured window starts (and stays) exact.
+                        let _span = self
+                            .tracer
+                            .enabled()
+                            .then(|| self.tracer.begin("epoch", "repair_occupancy"));
                         self.hierarchy.repair_occupancy();
                         self.occupancy_stale = false;
                     }
@@ -357,6 +431,7 @@ impl Platform {
                 if observe {
                     phase::set_observing(false);
                 }
+                phases::phase_add(Phase::Measure, t0.elapsed().as_nanos() as u64);
                 r
             }
         };
@@ -685,6 +760,23 @@ mod tests {
         assert_eq!(p.measured_epochs(), None);
         assert_eq!(p.skipped_epochs(), 0);
         assert!(p.take_phase_boundaries().is_empty());
+    }
+
+    #[test]
+    fn traced_platform_emits_epoch_segment_spans() {
+        // Installing the global tracer is irreversible in-process; other
+        // tests in this binary just record a few extra spans, which none
+        // of them observe.
+        let tracer = span::install_global();
+        let before = tracer.len();
+        let mut p = Platform::new(PlatformConfig::tiny());
+        p.add_tenant(xmem_tenant(0, 0, 1));
+        p.run_epochs(5);
+        drop(p); // flushes the open segment
+        assert!(tracer.len() > before, "epoch segments must be recorded");
+        let trace = tracer.export_chrome_trace().expect("enabled tracer exports");
+        assert!(trace.contains("epoch.measure"), "measure segment span missing:\n{trace}");
+        assert!(trace.contains("vt_end_ns"), "segment spans must carry virtual time");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! with [`validate`].
 
 use crate::exec::{Outcome, RunOptions, RunOutput};
+use iat_telemetry::PhaseBreakdown;
 use serde_json::{json, Value};
 
 /// Schema tag stamped into every report; bump when the shape changes.
@@ -24,7 +25,13 @@ use serde_json::{json, Value};
 /// `headline_exact` / `headline_sampled` once the extrapolated headline
 /// has been compared against the committed exact capture (see
 /// [`attach_sample_errors`]).
-pub const BENCH_SCHEMA: &str = "iat-bench-repro/v3";
+///
+/// v4: per-figure and top-level `phase_ns` objects break the wall clock
+/// into `{setup, warmup, measure, flush, merge}` nanoseconds (see
+/// [`iat_telemetry::PhaseBreakdown`]; flush nests inside the epoch
+/// buckets and is reported separately, so the five keys do not sum to
+/// the wall clock).
+pub const BENCH_SCHEMA: &str = "iat-bench-repro/v4";
 
 /// Schema tag for one `BENCH_history.jsonl` line (see [`history_record`]).
 pub const HISTORY_SCHEMA: &str = "iat-bench-history/v1";
@@ -51,6 +58,7 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
         sampled: bool,
         skipped: u64,
         ok: bool,
+        phases: PhaseBreakdown,
     }
     let mut figures: Vec<Group> = Vec::new();
     for r in &out.reports {
@@ -63,6 +71,7 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
                 g.sampled |= r.sampled;
                 g.skipped += r.skipped_epochs;
                 g.ok &= r.outcome == Outcome::Ok;
+                g.phases.add(&r.phases);
             }
             None => figures.push(Group {
                 figure: r.group.clone(),
@@ -72,12 +81,17 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
                 sampled: r.sampled,
                 skipped: r.skipped_epochs,
                 ok: r.outcome == Outcome::Ok,
+                phases: r.phases,
             }),
         }
     }
     let busy: f64 = figures.iter().map(|g| g.wall).sum();
     let accesses: u64 = figures.iter().map(|g| g.accesses).sum();
     let skipped: u64 = figures.iter().map(|g| g.skipped).sum();
+    let mut phases = PhaseBreakdown::default();
+    for g in &figures {
+        phases.add(&g.phases);
+    }
     // Aggregate throughput over the figures that actually simulate
     // accesses; static-table groups would only dilute the number.
     let sim_busy: f64 = figures
@@ -95,6 +109,7 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
                 "accesses": g.accesses,
                 "sampled": g.sampled,
                 "skipped_epochs": g.skipped,
+                "phase_ns": g.phases.to_json(),
                 "ok": g.ok,
             });
             if g.accesses > 0 {
@@ -116,6 +131,7 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
         "accesses": accesses,
         "skipped_epochs": skipped,
         "accesses_per_s": accesses as f64 / sim_busy.max(1e-9),
+        "phase_ns": phases.to_json(),
         "figures": figures,
     })
 }
@@ -334,6 +350,22 @@ pub fn validate_trajectory(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates one v4 `phase_ns` object: all five phase keys present as
+/// non-negative integers, nothing else.
+fn validate_phase_ns(v: &Value, whence: &str) -> Result<(), String> {
+    let obj = v.as_object().ok_or_else(|| format!("{whence}: phase_ns must be an object"))?;
+    const KEYS: [&str; 5] = ["setup", "warmup", "measure", "flush", "merge"];
+    for key in KEYS {
+        if v[key].as_u64().is_none() {
+            return Err(format!("{whence}: phase_ns.{key} must be a non-negative integer"));
+        }
+    }
+    if obj.len() != KEYS.len() {
+        return Err(format!("{whence}: phase_ns must hold exactly the five phase keys"));
+    }
+    Ok(())
+}
+
 /// Validates a `BENCH_repro.json` document's schema (the CI guard that
 /// keeps the perf trajectory machine-readable).
 ///
@@ -368,6 +400,7 @@ pub fn validate(doc: &Value) -> Result<(), String> {
             _ => return Err(format!("{key} must be a finite non-negative number")),
         }
     }
+    validate_phase_ns(&doc["phase_ns"], "report")?;
     let figures = doc["figures"].as_array().ok_or("figures must be an array")?;
     if figures.is_empty() {
         return Err("figures must not be empty".into());
@@ -384,6 +417,7 @@ pub fn validate(doc: &Value) -> Result<(), String> {
         if f["sampled"].as_bool().is_none() {
             return Err(format!("figure {}: sampled must be a boolean", f["figure"]));
         }
+        validate_phase_ns(&f["phase_ns"], &format!("figure {}", f["figure"]))?;
         // Sampling is a run-level opt-in: an exact report must not
         // contain sampled figures or fast-forwarded epochs, and the
         // error fields only make sense on sampled figures.
@@ -454,45 +488,37 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
+    fn fake_report(name: &str, group: &str, outcome: Outcome, wall_ms: u64, accesses: u64) -> crate::JobReport {
+        crate::JobReport {
+            name: name.into(),
+            group: group.into(),
+            outcome,
+            wall: Duration::from_millis(wall_ms),
+            accesses,
+            sampled: false,
+            skipped_epochs: 0,
+            phases: PhaseBreakdown::default(),
+            decisions: Vec::new(),
+        }
+    }
+
     fn fake_output() -> RunOutput {
+        let mut leaf = fake_report("figX/a", "figX", Outcome::Ok, 250, 1000);
+        leaf.phases = PhaseBreakdown {
+            setup_ns: 50_000_000,
+            warmup_ns: 60_000_000,
+            measure_ns: 140_000_000,
+            flush_ns: 30_000_000,
+            merge_ns: 0,
+        };
+        let mut merge = fake_report("figX", "figX", Outcome::Ok, 50, 0);
+        merge.phases.merge_ns = 50_000_000;
         RunOutput {
             reports: vec![
-                crate::JobReport {
-                    name: "figX/a".into(),
-                    group: "figX".into(),
-                    outcome: Outcome::Ok,
-                    wall: Duration::from_millis(250),
-                    accesses: 1000,
-                    sampled: false,
-                    skipped_epochs: 0,
-                },
-                crate::JobReport {
-                    name: "figX".into(),
-                    group: "figX".into(),
-                    outcome: Outcome::Ok,
-                    wall: Duration::from_millis(50),
-                    accesses: 0,
-                    sampled: false,
-                    skipped_epochs: 0,
-                },
-                crate::JobReport {
-                    name: "figY".into(),
-                    group: "figY".into(),
-                    outcome: Outcome::Failed("boom".into()),
-                    wall: Duration::from_millis(100),
-                    accesses: 77,
-                    sampled: false,
-                    skipped_epochs: 0,
-                },
-                crate::JobReport {
-                    name: "tableZ".into(),
-                    group: "tableZ".into(),
-                    outcome: Outcome::Ok,
-                    wall: Duration::from_millis(10),
-                    accesses: 0,
-                    sampled: false,
-                    skipped_epochs: 0,
-                },
+                leaf,
+                merge,
+                fake_report("figY", "figY", Outcome::Failed("boom".into()), 100, 77),
+                fake_report("tableZ", "tableZ", Outcome::Ok, 10, 0),
             ],
             stdout: String::new(),
             files: Vec::new(),
@@ -537,6 +563,33 @@ mod tests {
         assert!(figs[0]["accesses_per_s"].as_f64().is_some());
         let agg = doc["accesses_per_s"].as_f64().unwrap();
         assert!((agg - 1077.0 / 0.4).abs() < 1e-6, "got {agg}");
+        // Phase accounting folds across a group's jobs and up to the
+        // report total: figX's leaf carries setup/warmup/measure/flush,
+        // its merge job carries merge.
+        assert_eq!(figs[0]["phase_ns"]["setup"], 50_000_000u64);
+        assert_eq!(figs[0]["phase_ns"]["warmup"], 60_000_000u64);
+        assert_eq!(figs[0]["phase_ns"]["measure"], 140_000_000u64);
+        assert_eq!(figs[0]["phase_ns"]["flush"], 30_000_000u64);
+        assert_eq!(figs[0]["phase_ns"]["merge"], 50_000_000u64);
+        assert_eq!(figs[2]["phase_ns"]["measure"], 0u64);
+        assert_eq!(doc["phase_ns"]["warmup"], 60_000_000u64);
+        assert_eq!(doc["phase_ns"]["merge"], 50_000_000u64);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_phase_ns() {
+        let out = fake_output();
+        let doc = bench_report(&out, &RunOptions::default(), "release");
+        validate(&doc).expect("baseline must validate");
+        // Missing key, wrong type, and extra key are each hard errors.
+        assert!(validate(&with_field(&doc, "phase_ns", serde_json::json!({"setup": 1}))).is_err());
+        assert!(validate(&with_field(&doc, "phase_ns", serde_json::json!(7))).is_err());
+        let mut full = serde_json::json!({
+            "setup": 1u64, "warmup": 1u64, "measure": 1u64, "flush": 1u64, "merge": 1u64
+        });
+        assert!(validate(&with_field(&doc, "phase_ns", full.clone())).is_ok());
+        full["extra"] = serde_json::json!(0);
+        assert!(validate(&with_field(&doc, "phase_ns", full)).is_err());
     }
 
     #[test]

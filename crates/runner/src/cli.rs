@@ -25,6 +25,7 @@ impl Default for RunOptions {
             slice_workers: None,
             sampled: false,
             expected_costs: Vec::new(),
+            trace_out: None,
         }
     }
 }
@@ -41,7 +42,7 @@ repro — regenerate every figure/table capture under results/
 
 USAGE:
     repro [--jobs N] [--slice-workers N] [--only NAME]... [--sampled]
-          [--smoke] [--check] [--seed N] [--list]
+          [--smoke] [--check] [--seed N] [--trace-out PATH] [--list]
 
 OPTIONS:
     --jobs N     worker threads (default: min(cores, 8)); output is
@@ -65,6 +66,12 @@ OPTIONS:
                  instead of writing; exit 1 on divergence
     --seed N     root seed for per-job seed derivation (default 0 — the
                  committed captures' seed)
+    --trace-out PATH
+                 arm the span tracer and the decision flight recorder;
+                 write a Chrome trace-event JSON (Perfetto-loadable) to
+                 PATH and per-group daemon decision logs to
+                 results/decisions/<group>.jsonl. Observational only:
+                 staged outputs stay byte-identical
     --list       list jobs and exit
 ";
 
@@ -107,6 +114,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
                 cli.opts.root_seed = v
                     .parse::<u64>()
                     .map_err(|_| format!("bad --seed value {v:?}"))?;
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                cli.opts.trace_out = Some(v.into());
             }
             "--list" => cli.list = true,
             "--help" | "-h" => return Err(String::new()),
@@ -160,6 +171,17 @@ mod tests {
         let cli = parse_args(["--sampled".to_owned()]).unwrap();
         assert!(cli.opts.sampled);
         assert!(!parse_args(Vec::new()).unwrap().opts.sampled, "exact is the default");
+    }
+
+    #[test]
+    fn parses_trace_out() {
+        let cli = parse_args(["--trace-out".to_owned(), "/tmp/t.json".to_owned()]).unwrap();
+        assert_eq!(
+            cli.opts.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.json"))
+        );
+        assert!(parse_args(Vec::new()).unwrap().opts.trace_out.is_none(), "off by default");
+        assert!(parse_args(["--trace-out".to_owned()]).is_err(), "path required");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! the cost summary.
 
 use crate::job::{JobCtx, JobFn, Registry};
-use iat_telemetry::Metrics;
-use serde_json::Value;
+use iat_telemetry::{decision, phases, span, Event, Metrics, PhaseBreakdown};
+use serde_json::{json, Value};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::{Condvar, Mutex};
@@ -39,6 +39,11 @@ pub struct RunOptions {
     /// the tail of the sweep. Purely a scheduling hint: output order and
     /// bytes are unaffected.
     pub expected_costs: Vec<(String, f64)>,
+    /// When set, span tracing and decision capture are armed for the
+    /// run and the Chrome trace-event JSON is written to this path
+    /// (load it in Perfetto / `chrome://tracing`). Observational only:
+    /// staged figure outputs stay byte-identical.
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 /// How one job ended.
@@ -83,6 +88,14 @@ pub struct JobReport {
     /// Epochs fast-forwarded, as reported under
     /// [`SKIPPED_EPOCHS_COUNTER`] (zero for exact jobs).
     pub skipped_epochs: u64,
+    /// Wall-clock phase breakdown of the job body: warmup / measure /
+    /// flush come from the platform and cache layers' per-thread
+    /// accounting; merge is the whole wall of dependency-consuming
+    /// jobs; setup is the unattributed remainder.
+    pub phases: PhaseBreakdown,
+    /// Decision flight-recorder records captured while the job ran
+    /// (empty unless `repro --trace-out` armed capture).
+    pub decisions: Vec<Event>,
 }
 
 /// Everything a sweep produced, in registration order — independent of
@@ -136,6 +149,8 @@ struct Sched {
     outcomes: Vec<Option<Outcome>>,
     ctxs: Vec<Option<JobCtx>>,
     walls: Vec<Duration>,
+    phases: Vec<PhaseBreakdown>,
+    decisions: Vec<Vec<Event>>,
     running: usize,
     done: usize,
     total: usize,
@@ -243,6 +258,8 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
         outcomes: vec![None; n],
         ctxs: (0..n).map(|_| None).collect(),
         walls: vec![Duration::ZERO; n],
+        phases: vec![PhaseBreakdown::default(); n],
+        decisions: vec![Vec::new(); n],
         running: 0,
         done: 0,
         total: 0,
@@ -323,6 +340,11 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
                 // duration — parallel jobs with different eligibility
                 // never see each other's level.
                 iat_cachesim::config::set_thread_sampling(job.sampled);
+                // Phase accounting and decision capture drain per job on
+                // the worker thread that ran it; reset first so a
+                // previous job's leftovers never leak in.
+                let _ = phases::take_phases();
+                let _ = decision::take_thread_records();
                 let t0 = Instant::now();
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)))
@@ -335,11 +357,36 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
                             Err(format!("panic: {msg}"))
                         });
                 let wall = t0.elapsed();
+                let mut job_phases = phases::take_phases();
+                let job_decisions = decision::take_thread_records();
+                // Attribute the body time the layers below didn't claim:
+                // dependency-consuming jobs merge artifacts (no platform
+                // of their own counts as setup), leaves spend the
+                // remainder constructing scenarios. Flush time nests
+                // inside the epoch buckets, so it is not subtracted.
+                let wall_ns = wall.as_nanos() as u64;
+                let epoch_ns = job_phases.warmup_ns + job_phases.measure_ns;
+                if job.deps.is_empty() {
+                    job_phases.setup_ns = wall_ns.saturating_sub(epoch_ns);
+                } else {
+                    job_phases.merge_ns = wall_ns.saturating_sub(epoch_ns);
+                }
                 iat_cachesim::config::set_thread_sampling(None);
                 iat_cachesim::config::release_slot();
+                if span::global_enabled() {
+                    span::global().record(
+                        "runner",
+                        &job.name,
+                        t0,
+                        t0 + wall,
+                        json!({ "group": job.group, "ok": result.is_ok() }),
+                    );
+                }
 
                 let mut s = state.lock().expect("runner lock");
                 s.walls[i] = wall;
+                s.phases[i] = job_phases;
+                s.decisions[i] = job_decisions;
                 s.done += 1;
                 s.running -= 1;
                 match result {
@@ -403,6 +450,8 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
             skipped_epochs: sched.ctxs[i]
                 .as_ref()
                 .map_or(0, |ctx| ctx.metrics.counter(SKIPPED_EPOCHS_COUNTER)),
+            phases: sched.phases[i],
+            decisions: std::mem::take(&mut sched.decisions[i]),
         });
         if let Some(ctx) = sched.ctxs[i].take() {
             stdout.push_str(&ctx.out);
@@ -477,15 +526,17 @@ pub fn check_outputs(out: &RunOutput, dir: &Path) -> Vec<String> {
 /// `BENCH_repro.json`); when a group has history, the `vs prev` column
 /// shows this run's speedup (`3.1x`) or slowdown (`0.8x`) against it.
 pub fn print_summary(out: &RunOutput, expected: &[(String, f64)]) {
-    let mut groups: Vec<(String, Duration, usize, u64, bool, bool)> = Vec::new();
+    #[allow(clippy::type_complexity)]
+    let mut groups: Vec<(String, Duration, usize, u64, bool, bool, PhaseBreakdown)> = Vec::new();
     for r in &out.reports {
         match groups.iter_mut().find(|(g, ..)| g == &r.group) {
-            Some((_, wall, jobs, acc, sampled, ok)) => {
+            Some((_, wall, jobs, acc, sampled, ok, phases)) => {
                 *wall += r.wall;
                 *jobs += 1;
                 *acc += r.accesses;
                 *sampled |= r.sampled;
                 *ok &= r.outcome == Outcome::Ok;
+                phases.add(&r.phases);
             }
             None => groups.push((
                 r.group.clone(),
@@ -494,16 +545,21 @@ pub fn print_summary(out: &RunOutput, expected: &[(String, f64)]) {
                 r.accesses,
                 r.sampled,
                 r.outcome == Outcome::Ok,
+                r.phases,
             )),
         }
     }
     progress("");
-    progress("figure        jobs      cost   accesses   acc/s  vs prev");
-    progress("--------------------------------------------------------");
+    progress(
+        "figure        jobs      cost   accesses   acc/s  vs prev  setup/warm/meas/flush/merge",
+    );
+    progress(
+        "------------------------------------------------------------------------------------",
+    );
     let mut busy = Duration::ZERO;
     let mut total_accesses = 0u64;
     let mut sim_busy = Duration::ZERO;
-    for (group, wall, jobs, accesses, sampled, ok) in &groups {
+    for (group, wall, jobs, accesses, sampled, ok, phases) in &groups {
         busy += *wall;
         total_accesses += *accesses;
         // Access-free groups (static tables) have no meaningful
@@ -524,19 +580,30 @@ pub fn print_summary(out: &RunOutput, expected: &[(String, f64)]) {
             .map_or("-".to_owned(), |(_, prev)| {
                 format!("{:.1}x", prev / wall.as_secs_f64().max(1e-9))
             });
+        let s = |ns: u64| format!("{:.1}", ns as f64 / 1e9);
         progress(&format!(
-            "{:<12} {:>5} {:>7.2} s {:>8} {:>7} {:>7}{}{}",
+            "{:<12} {:>5} {:>7.2} s {:>8} {:>7} {:>7}  {:>27}{}{}",
             group,
             jobs,
             wall.as_secs_f64(),
             acc_col,
             rate_col,
             delta_col,
+            format!(
+                "{}/{}/{}/{}/{} s",
+                s(phases.setup_ns),
+                s(phases.warmup_ns),
+                s(phases.measure_ns),
+                s(phases.flush_ns),
+                s(phases.merge_ns)
+            ),
             if *sampled { "  [sampled]" } else { "" },
             if *ok { "" } else { "  [FAILED]" }
         ));
     }
-    progress("--------------------------------------------------------");
+    progress(
+        "------------------------------------------------------------------------------------",
+    );
     progress(&format!(
         "wall {:.2} s, aggregate job cost {:.2} s ({:.2}x concurrency), {} files, {} msr writes traced",
         out.wall.as_secs_f64(),

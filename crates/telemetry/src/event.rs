@@ -135,6 +135,39 @@ pub enum Event {
         /// Modelled daemon-iteration cost, nanoseconds.
         cost_ns: u64,
     },
+    /// One fully assembled daemon step, as folded from the raw stream
+    /// by [`crate::DecisionRecorder`]: poll inputs, FSM edge, action,
+    /// and the resulting allocation — the flight-recorder record the
+    /// predictive-policy work trains on.
+    StepRecord {
+        stamp: Stamp,
+        /// FSM state entering the iteration (Display form).
+        state_before: String,
+        /// FSM state leaving the iteration.
+        state_after: String,
+        /// Action taken (Debug form of `iat::Action`).
+        action: String,
+        /// Whether the iteration classified the system as stable.
+        stable: bool,
+        /// DDIO way count after the iteration (0 until first observed).
+        ddio_ways: u8,
+        /// Per-tenant way counts after the iteration, in agent order
+        /// (empty until tenants are seeded or resized).
+        tenant_ways: Vec<u8>,
+        /// LLC references reported by the iteration's poll.
+        llc_refs: u64,
+        /// LLC misses reported by the iteration's poll.
+        llc_misses: u64,
+        /// Miss direction vs. the previous iteration's poll:
+        /// "up", "down", or "flat".
+        miss_trend: String,
+        /// Peak Rx-ring occupancy over the interval, percent (0-100).
+        occ_pct: u8,
+        /// Cumulative MSR writes after the iteration.
+        msr_writes: u64,
+        /// Modelled daemon-iteration cost, nanoseconds.
+        cost_ns: u64,
+    },
 }
 
 impl Event {
@@ -151,6 +184,7 @@ impl Event {
             Event::RingOccupancy { .. } => "ring_occupancy",
             Event::PhaseBoundary { .. } => "phase_boundary",
             Event::Decision { .. } => "decision",
+            Event::StepRecord { .. } => "step_record",
         }
     }
 
@@ -166,7 +200,8 @@ impl Event {
             | Event::NicDrop { stamp, .. }
             | Event::RingOccupancy { stamp, .. }
             | Event::PhaseBoundary { stamp, .. }
-            | Event::Decision { stamp, .. } => *stamp,
+            | Event::Decision { stamp, .. }
+            | Event::StepRecord { stamp, .. } => *stamp,
         }
     }
 
@@ -226,6 +261,37 @@ impl Event {
                 "msr_writes": *msr_writes,
                 "cost_ns": *cost_ns,
             }),
+            Event::StepRecord {
+                state_before,
+                state_after,
+                action,
+                stable,
+                ddio_ways,
+                tenant_ways,
+                llc_refs,
+                llc_misses,
+                miss_trend,
+                occ_pct,
+                msr_writes,
+                cost_ns,
+                ..
+            } => {
+                let ways = Value::Array(tenant_ways.iter().map(|w| Value::from(*w)).collect());
+                json!({
+                    "state_before": state_before.as_str(),
+                    "state_after": state_after.as_str(),
+                    "action": action.as_str(),
+                    "stable": *stable,
+                    "ddio_ways": *ddio_ways,
+                    "tenant_ways": ways,
+                    "llc_refs": *llc_refs,
+                    "llc_misses": *llc_misses,
+                    "miss_trend": miss_trend.as_str(),
+                    "occ_pct": *occ_pct,
+                    "msr_writes": *msr_writes,
+                    "cost_ns": *cost_ns,
+                })
+            }
         };
         if let Value::Object(map) = &mut v {
             let stamp = self.stamp();
@@ -265,6 +331,19 @@ impl Event {
                 .and_then(Value::as_str)
                 .map(str::to_owned)
                 .ok_or_else(|| format!("missing string field {key:?}"))
+        }
+        fn u8_array_field(v: &Value, key: &str) -> Result<Vec<u8>, String> {
+            v.get(key)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("missing array field {key:?}"))?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .filter(|n| *n <= u8::MAX as u64)
+                        .map(|n| n as u8)
+                        .ok_or_else(|| format!("non-u8 element in array field {key:?}"))
+                })
+                .collect()
         }
 
         let stamp = Stamp { iter: u64_field(v, "iter")?, time_ns: u64_field(v, "time_ns")? };
@@ -327,6 +406,21 @@ impl Event {
                 state: str_field(v, "state")?,
                 action: str_field(v, "action")?,
                 stable: bool_field(v, "stable")?,
+                msr_writes: u64_field(v, "msr_writes")?,
+                cost_ns: u64_field(v, "cost_ns")?,
+            }),
+            "step_record" => Ok(Event::StepRecord {
+                stamp,
+                state_before: str_field(v, "state_before")?,
+                state_after: str_field(v, "state_after")?,
+                action: str_field(v, "action")?,
+                stable: bool_field(v, "stable")?,
+                ddio_ways: u64_field(v, "ddio_ways")? as u8,
+                tenant_ways: u8_array_field(v, "tenant_ways")?,
+                llc_refs: u64_field(v, "llc_refs")?,
+                llc_misses: u64_field(v, "llc_misses")?,
+                miss_trend: str_field(v, "miss_trend")?,
+                occ_pct: u64_field(v, "occ_pct")? as u8,
                 msr_writes: u64_field(v, "msr_writes")?,
                 cost_ns: u64_field(v, "cost_ns")?,
             }),
@@ -397,6 +491,22 @@ impl fmt::Display for Event {
                      msr_writes={msr_writes}"
                 )
             }
+            Event::StepRecord {
+                state_before,
+                state_after,
+                action,
+                stable,
+                ddio_ways,
+                tenant_ways,
+                miss_trend,
+                ..
+            } => {
+                write!(
+                    f,
+                    "step      {state_before} -> {state_after} action={action} stable={stable} \
+                     ddio={ddio_ways}w tenants={tenant_ways:?} miss={miss_trend}"
+                )
+            }
         }
     }
 }
@@ -447,6 +557,21 @@ mod tests {
                 state: "io-demand".into(),
                 action: "GrowDdio".into(),
                 stable: false,
+                msr_writes: 3,
+                cost_ns: 180_000,
+            },
+            Event::StepRecord {
+                stamp,
+                state_before: "low-keep".into(),
+                state_after: "io-demand".into(),
+                action: "GrowDdio".into(),
+                stable: false,
+                ddio_ways: 4,
+                tenant_ways: vec![3, 2, 2, 4],
+                llc_refs: 1000,
+                llc_misses: 250,
+                miss_trend: "up".into(),
+                occ_pct: 88,
                 msr_writes: 3,
                 cost_ns: 180_000,
             },

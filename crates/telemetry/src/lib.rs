@@ -12,7 +12,20 @@
 //!   any `io::Write` for offline analysis.
 //! * [`Metrics`] — a registry of named counters, gauges, and
 //!   fixed-bucket histograms that can be snapshotted, merged across
-//!   runs, and rendered to JSON.
+//!   runs, rendered to JSON, or exposed in the Prometheus text format
+//!   ([`render_prometheus`]).
+//!
+//! On top of those sit the run-wide observability layers:
+//!
+//! * [`span`] — a lightweight wall-clock span tracer whose output is a
+//!   Chrome trace-event JSON file loadable in Perfetto (`repro
+//!   --trace-out`).
+//! * [`DecisionRecorder`] — folds the raw event stream into one
+//!   structured [`Event::StepRecord`] per daemon iteration, the
+//!   flight-recorder record behind `results/decisions/*.jsonl`.
+//! * [`phases`] — per-thread phase accounting (warmup / measure /
+//!   flush wall time) the sweep harness folds into per-job
+//!   [`PhaseBreakdown`]s for the BENCH report.
 //!
 //! Instrumented code takes `&mut dyn Recorder` and guards event
 //! construction behind [`Recorder::enabled`], so the uninstrumented
@@ -35,12 +48,20 @@
 
 #![forbid(unsafe_code)]
 
+pub mod decision;
 mod event;
 mod metrics;
+pub mod phases;
+mod prom;
 mod recorder;
+pub mod span;
 
+pub use decision::DecisionRecorder;
 pub use event::{render_timeline, Event, Stamp};
 pub use metrics::{
     summarize, Histogram, Metrics, MetricsSnapshot, COST_NS_BOUNDS, OCCUPANCY_BOUNDS,
 };
+pub use phases::{Phase, PhaseBreakdown};
+pub use prom::render_prometheus;
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder, RingRecorder};
+pub use span::{SpanScope, SpanTracer};

@@ -80,6 +80,36 @@ impl Histogram {
         }
     }
 
+    /// Estimated `q`-quantile (`0.0..=1.0`) via linear interpolation
+    /// inside the matching bucket, Prometheus `histogram_quantile`
+    /// style: the first bucket interpolates up from 0 (or from its own
+    /// edge when that edge is negative), and observations past the
+    /// last edge clamp to that edge — a fixed-bucket histogram cannot
+    /// see further. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let last_edge = self.bounds[self.bounds.len() - 1];
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= rank {
+                if i == self.bounds.len() {
+                    return last_edge; // overflow bucket: clamp
+                }
+                let hi = self.bounds[i];
+                let lo = if i == 0 { hi.min(0.0) } else { self.bounds[i - 1] };
+                return lo + (hi - lo) * ((rank - cum as f64) / c as f64);
+            }
+            cum += c;
+        }
+        last_edge
+    }
+
     /// Adds another histogram's observations into this one.
     ///
     /// # Panics
@@ -184,6 +214,21 @@ impl Metrics {
         self.histograms.get(name)
     }
 
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
     /// A point-in-time copy of the whole registry.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.clone()
@@ -241,7 +286,9 @@ pub const OCCUPANCY_BOUNDS: [f64; 5] = [0.25, 0.5, 0.75, 0.9, 1.0];
 /// * a `nic.rx_dropped` counter from [`Event::NicDrop`]s,
 /// * a `nic.ring_occupancy` histogram of occupancy fractions from
 ///   [`Event::RingOccupancy`]s,
-/// * a `ddio.ways` gauge tracking the last [`Event::DdioResize`].
+/// * a `ddio.ways` gauge tracking the last [`Event::DdioResize`],
+/// * `<histogram>.p50` / `.p95` / `.p99` gauges (bucket-interpolated
+///   [`Histogram::quantile`] estimates) for each non-empty histogram.
 pub fn summarize(events: &[Event]) -> Metrics {
     let mut m = Metrics::new();
     m.histogram_register("daemon.cost_ns", &COST_NS_BOUNDS);
@@ -261,6 +308,17 @@ pub fn summarize(events: &[Event]) -> Metrics {
             Event::DdioResize { to_ways, .. } => m.gauge_set("ddio.ways", *to_ways as f64),
             _ => {}
         }
+    }
+    let quantiles: Vec<(String, f64)> = m
+        .histograms()
+        .filter(|(_, h)| h.count() > 0)
+        .flat_map(|(name, h)| {
+            [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")]
+                .map(|(q, tag)| (format!("{name}.{tag}"), h.quantile(q)))
+        })
+        .collect();
+    for (name, value) in quantiles {
+        m.gauge_set(&name, value);
     }
     m
 }
@@ -292,6 +350,38 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_edges() {
         Histogram::new(&[10.0, 1.0]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(&[10.0, 20.0, 40.0]);
+        assert_eq!(h.quantile(0.5), 0.0); // empty
+        // 10 observations spread 4 / 4 / 2 across the buckets.
+        for _ in 0..4 {
+            h.observe(5.0);
+        }
+        for _ in 0..4 {
+            h.observe(15.0);
+        }
+        for _ in 0..2 {
+            h.observe(30.0);
+        }
+        // p50: rank 5 falls 1 observation into the 4-count (10,20]
+        // bucket -> 10 + 10 * (1/4).
+        assert!((h.quantile(0.50) - 12.5).abs() < 1e-9);
+        // p95: rank 9.5 falls 1.5 into the 2-count (20,40] bucket.
+        assert!((h.quantile(0.95) - 35.0).abs() < 1e-9);
+        // p0 and p100 stay inside the observed edges.
+        assert!((h.quantile(0.0) - 0.0).abs() < 1e-9);
+        assert!((h.quantile(1.0) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_to_last_edge() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(100.0);
+        h.observe(200.0);
+        assert_eq!(h.quantile(0.99), 2.0);
     }
 
     #[test]
@@ -387,6 +477,10 @@ mod tests {
         let occ = m.histogram("nic.ring_occupancy").unwrap();
         assert_eq!(occ.count(), 1);
         assert_eq!(occ.counts(), &[0, 0, 1, 0, 0, 0]);
+        // Quantile gauges are surfaced for every non-empty histogram.
+        assert!(m.gauge("daemon.cost_ns.p50").is_some());
+        assert!(m.gauge("daemon.cost_ns.p99").is_some());
+        assert!(m.gauge("nic.ring_occupancy.p95").is_some());
     }
 
     #[test]

@@ -115,9 +115,16 @@ impl Recorder for RingRecorder {
 /// Lines are the [`Event::to_json`] form, so a file written here reads
 /// back with [`Event::from_json`] line by line. Write errors are
 /// counted, not propagated — telemetry must never take down the run.
+///
+/// Dropping the recorder flushes the writer, so events buffered by a
+/// `BufWriter` (or similar) are not silently lost when the caller
+/// forgets to call [`flush`](JsonlRecorder::flush) or
+/// [`into_inner`](JsonlRecorder::into_inner).
 #[derive(Debug)]
 pub struct JsonlRecorder<W: io::Write> {
-    out: W,
+    /// `None` only after `into_inner` moved the writer out (`Drop`
+    /// cannot coexist with moving a field, hence the `Option`).
+    out: Option<W>,
     lines: u64,
     write_errors: u64,
 }
@@ -125,7 +132,7 @@ pub struct JsonlRecorder<W: io::Write> {
 impl<W: io::Write> JsonlRecorder<W> {
     /// Wraps a writer (commonly a `File` or `Vec<u8>`).
     pub fn new(out: W) -> JsonlRecorder<W> {
-        JsonlRecorder { out, lines: 0, write_errors: 0 }
+        JsonlRecorder { out: Some(out), lines: 0, write_errors: 0 }
     }
 
     /// Lines successfully written.
@@ -140,21 +147,34 @@ impl<W: io::Write> JsonlRecorder<W> {
 
     /// Flushes and returns the underlying writer.
     pub fn into_inner(mut self) -> W {
-        let _ = self.out.flush();
-        self.out
+        let mut out = self.out.take().expect("writer already taken");
+        let _ = out.flush();
+        out
     }
 
     /// Flushes the underlying writer.
     pub fn flush(&mut self) -> io::Result<()> {
-        self.out.flush()
+        match &mut self.out {
+            Some(out) => out.flush(),
+            None => Ok(()),
+        }
     }
 }
 
 impl<W: io::Write> Recorder for JsonlRecorder<W> {
     fn record(&mut self, event: Event) {
-        match writeln!(self.out, "{}", event.to_json()) {
+        let Some(out) = &mut self.out else { return };
+        match writeln!(out, "{}", event.to_json()) {
             Ok(()) => self.lines += 1,
             Err(_) => self.write_errors += 1,
+        }
+    }
+}
+
+impl<W: io::Write> Drop for JsonlRecorder<W> {
+    fn drop(&mut self) {
+        if let Some(out) = &mut self.out {
+            let _ = out.flush();
         }
     }
 }
@@ -224,6 +244,38 @@ mod tests {
             .collect();
         assert_eq!(events.len(), 4);
         assert_eq!(events[3], ev(3));
+    }
+
+    #[test]
+    fn jsonl_flushes_on_drop() {
+        use std::rc::Rc;
+
+        /// A writer whose flushed bytes land in a shared buffer, so the
+        /// test can observe them after the recorder is gone.
+        struct Shared(Rc<std::cell::RefCell<Vec<u8>>>);
+        impl io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = Rc::new(std::cell::RefCell::new(Vec::new()));
+        {
+            // Large buffer: nothing reaches the sink until a flush.
+            let buffered = io::BufWriter::with_capacity(1 << 20, Shared(Rc::clone(&sink)));
+            let mut r = JsonlRecorder::new(buffered);
+            r.record(ev(1));
+            assert_eq!(r.lines(), 1);
+            assert!(sink.borrow().is_empty(), "BufWriter must still hold the line");
+            // Dropped without flush()/into_inner(): Drop must flush.
+        }
+        let text = String::from_utf8(sink.borrow().clone()).unwrap();
+        let event = Event::from_json_line(text.lines().next().expect("one line")).unwrap();
+        assert_eq!(event, ev(1));
     }
 
     #[test]

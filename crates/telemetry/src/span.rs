@@ -1,0 +1,321 @@
+//! Wall-clock span tracing with Chrome trace-event export.
+//!
+//! A [`SpanTracer`] is a cheap cloneable handle onto a thread-safe span
+//! sink. Instrumented code opens RAII scopes with [`SpanTracer::begin`]
+//! (or records pre-timed intervals with [`SpanTracer::record`]); each
+//! span carries a category, a name, wall-clock start/duration relative
+//! to the sink's epoch, the recording thread, and an optional JSON args
+//! object — the natural place for *virtual*-time stamps
+//! (`vt_start_ns`/`vt_end_ns`) alongside the wall-clock ones.
+//!
+//! [`SpanTracer::export_chrome_trace`] renders the sink as Chrome
+//! trace-event JSON (`{"traceEvents": [...]}` with `ph:"X"` complete
+//! events), which Perfetto and `chrome://tracing` load directly.
+//!
+//! The sweep uses one process-wide tracer installed by
+//! `repro --trace-out`: [`install_global`] arms it, [`global_enabled`]
+//! is the one-atomic-load fast path hot code guards on, and
+//! [`global`] hands out handles. When nothing installed a tracer,
+//! every handle is disabled and [`SpanTracer::begin`] does no work —
+//! not even a clock read.
+
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default bound on buffered spans; later spans are counted as dropped.
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+#[derive(Debug, Clone)]
+struct SpanRecord {
+    cat: &'static str,
+    name: String,
+    tid: u32,
+    start_us: f64,
+    dur_us: f64,
+    args: Value,
+}
+
+#[derive(Debug, Default)]
+struct SinkBuf {
+    spans: Vec<SpanRecord>,
+    /// `(tid, thread name)` in first-seen order.
+    threads: Vec<(u32, String)>,
+    dropped: u64,
+    next_tid: u32,
+}
+
+#[derive(Debug)]
+struct Sink {
+    epoch: Instant,
+    capacity: usize,
+    buf: Mutex<SinkBuf>,
+}
+
+thread_local! {
+    /// The calling thread's lane in the trace; `u32::MAX` = unassigned.
+    static THREAD_TID: std::cell::Cell<u32> = const { std::cell::Cell::new(u32::MAX) };
+}
+
+/// A handle onto a thread-safe span sink; disabled handles are free.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTracer {
+    sink: Option<Arc<Sink>>,
+}
+
+impl SpanTracer {
+    /// A handle that records nothing; every operation is a no-op.
+    pub fn disabled() -> SpanTracer {
+        SpanTracer { sink: None }
+    }
+
+    /// An enabled tracer with the default span capacity.
+    pub fn new() -> SpanTracer {
+        SpanTracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled tracer keeping at most `capacity` spans; further
+    /// spans are dropped and counted.
+    pub fn with_capacity(capacity: usize) -> SpanTracer {
+        assert!(capacity > 0, "SpanTracer capacity must be non-zero");
+        SpanTracer {
+            sink: Some(Arc::new(Sink {
+                epoch: Instant::now(),
+                capacity,
+                buf: Mutex::new(SinkBuf::default()),
+            })),
+        }
+    }
+
+    /// Whether spans are observed at all; guard instrumentation on this.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Opens an RAII scope: the span is recorded when the guard drops.
+    ///
+    /// On a disabled tracer this allocates nothing and reads no clock.
+    pub fn begin(&self, cat: &'static str, name: &str) -> SpanScope<'_> {
+        match &self.sink {
+            None => SpanScope { tracer: None, cat, name: String::new(), start: None, args: Value::Null },
+            Some(_) => SpanScope {
+                tracer: Some(self),
+                cat,
+                name: name.to_owned(),
+                start: Some(Instant::now()),
+                args: Value::Null,
+            },
+        }
+    }
+
+    /// Records a span from explicit wall-clock endpoints. `args` may be
+    /// `Value::Null` or an object (e.g. virtual-time stamps).
+    pub fn record(&self, cat: &'static str, name: &str, start: Instant, end: Instant, args: Value) {
+        let Some(sink) = &self.sink else { return };
+        let start_us = start.saturating_duration_since(sink.epoch).as_secs_f64() * 1e6;
+        let dur_us = end.saturating_duration_since(start).as_secs_f64() * 1e6;
+        let mut buf = sink.buf.lock().expect("span sink poisoned");
+        let tid = THREAD_TID.with(|cell| {
+            let mut tid = cell.get();
+            if tid == u32::MAX {
+                tid = buf.next_tid;
+                buf.next_tid += 1;
+                cell.set(tid);
+            }
+            tid
+        });
+        if !buf.threads.iter().any(|(t, _)| *t == tid) {
+            let name = std::thread::current().name().unwrap_or("worker").to_owned();
+            buf.threads.push((tid, name));
+        }
+        if buf.spans.len() >= sink.capacity {
+            buf.dropped += 1;
+            return;
+        }
+        buf.spans.push(SpanRecord { cat, name: name.to_owned(), tid, start_us, dur_us, args });
+    }
+
+    /// Spans buffered so far.
+    pub fn len(&self) -> usize {
+        self.sink.as_ref().map_or(0, |s| s.buf.lock().expect("span sink poisoned").spans.len())
+    }
+
+    /// Whether no spans are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans discarded because the sink was full.
+    pub fn dropped(&self) -> u64 {
+        self.sink.as_ref().map_or(0, |s| s.buf.lock().expect("span sink poisoned").dropped)
+    }
+
+    /// Renders the buffered spans as Chrome trace-event JSON
+    /// (`{"traceEvents": [...]}`), loadable in Perfetto. Returns `None`
+    /// on a disabled tracer.
+    pub fn export_chrome_trace(&self) -> Option<String> {
+        let sink = self.sink.as_ref()?;
+        let buf = sink.buf.lock().expect("span sink poisoned");
+        let mut events: Vec<Value> = Vec::with_capacity(buf.spans.len() + buf.threads.len() + 1);
+        events.push(json!({
+            "ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+            "args": { "name": "iat-repro" },
+        }));
+        for (tid, name) in &buf.threads {
+            events.push(json!({
+                "ph": "M", "pid": 1, "tid": *tid, "name": "thread_name",
+                "args": { "name": name.as_str() },
+            }));
+        }
+        for s in &buf.spans {
+            let mut e = json!({
+                "ph": "X", "pid": 1, "tid": s.tid,
+                "cat": s.cat, "name": s.name.as_str(),
+                "ts": s.start_us, "dur": s.dur_us,
+            });
+            if !s.args.is_null() {
+                e["args"] = s.args.clone();
+            }
+            events.push(e);
+        }
+        let doc = json!({ "displayTimeUnit": "ms", "traceEvents": Value::Array(events) });
+        Some(doc.to_string())
+    }
+}
+
+/// RAII guard from [`SpanTracer::begin`]; records the span on drop.
+#[derive(Debug)]
+pub struct SpanScope<'a> {
+    tracer: Option<&'a SpanTracer>,
+    cat: &'static str,
+    name: String,
+    start: Option<Instant>,
+    args: Value,
+}
+
+impl SpanScope<'_> {
+    /// Attaches one args key (no-op on a disabled scope).
+    pub fn arg(mut self, key: &str, value: Value) -> Self {
+        if self.tracer.is_some() {
+            self.args[key] = value;
+        }
+        self
+    }
+
+    /// Attaches virtual-time endpoints (simulated ns) to the span.
+    pub fn vt(self, vt_start_ns: u64, vt_end_ns: u64) -> Self {
+        self.arg("vt_start_ns", Value::from(vt_start_ns)).arg("vt_end_ns", Value::from(vt_end_ns))
+    }
+}
+
+impl Drop for SpanScope<'_> {
+    fn drop(&mut self) {
+        if let (Some(tracer), Some(start)) = (self.tracer, self.start) {
+            let args = std::mem::take(&mut self.args);
+            tracer.record(self.cat, &self.name, start, Instant::now(), args);
+        }
+    }
+}
+
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<SpanTracer> = OnceLock::new();
+
+/// Installs (or returns) the process-wide tracer and arms the
+/// [`global_enabled`] fast path. Idempotent.
+pub fn install_global() -> SpanTracer {
+    let t = GLOBAL.get_or_init(SpanTracer::new).clone();
+    GLOBAL_ENABLED.store(true, Ordering::Release);
+    t
+}
+
+/// One-atomic-load check hot paths use before touching the global
+/// tracer; `false` until [`install_global`] runs.
+pub fn global_enabled() -> bool {
+    GLOBAL_ENABLED.load(Ordering::Relaxed)
+}
+
+/// A handle to the process-wide tracer (disabled when none installed).
+pub fn global() -> SpanTracer {
+    if global_enabled() {
+        GLOBAL.get().cloned().unwrap_or_default()
+    } else {
+        SpanTracer::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = SpanTracer::disabled();
+        assert!(!t.enabled());
+        {
+            let _s = t.begin("cat", "noop").arg("k", Value::from(1u64));
+        }
+        t.record("cat", "explicit", Instant::now(), Instant::now(), Value::Null);
+        assert_eq!(t.len(), 0);
+        assert!(t.export_chrome_trace().is_none());
+    }
+
+    #[test]
+    fn scoped_and_explicit_spans_export_as_chrome_trace() {
+        let t = SpanTracer::new();
+        {
+            let _s = t.begin("job", "fig03").vt(0, 1_000_000);
+        }
+        let now = Instant::now();
+        t.record("llc", "flush", now, now, json!({ "ops": 128 }));
+        assert_eq!(t.len(), 2);
+        let text = t.export_chrome_trace().expect("enabled");
+        let doc: Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        // process_name + >=1 thread_name metadata + 2 spans.
+        assert!(events.len() >= 4);
+        let spans: Vec<&Value> = events.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0]["name"], "fig03");
+        assert_eq!(spans[0]["args"]["vt_end_ns"], 1_000_000u64);
+        assert_eq!(spans[1]["args"]["ops"], 128);
+        assert!(events.iter().any(|e| e["name"] == "process_name"));
+    }
+
+    #[test]
+    fn sink_capacity_bounds_spans_and_counts_drops() {
+        let t = SpanTracer::with_capacity(2);
+        let now = Instant::now();
+        for i in 0..5 {
+            t.record("c", &format!("s{i}"), now, now, Value::Null);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn spans_record_across_threads() {
+        let t = SpanTracer::new();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let t = t.clone();
+                s.spawn(move || {
+                    let _s = t.begin("worker", "lane");
+                });
+            }
+        });
+        let _s = t.begin("main", "here");
+        drop(_s);
+        assert_eq!(t.len(), 3);
+        let text = t.export_chrome_trace().unwrap();
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let tids: std::collections::BTreeSet<u64> = doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"] == "X")
+            .map(|e| e["tid"].as_u64().unwrap())
+            .collect();
+        assert!(tids.len() >= 2, "expected spans on multiple lanes, got {tids:?}");
+    }
+}

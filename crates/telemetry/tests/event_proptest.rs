@@ -1,0 +1,147 @@
+//! Property test: every [`Event`] variant survives the JSONL round
+//! trip (`to_json` → one text line → `from_json_line`) unchanged.
+//!
+//! The vendored proptest shim has no string strategies, so string
+//! fields draw from fixed pools of realistic values (FSM state names,
+//! action names, …) via index `prop_map`. Counter-like `u64` fields
+//! stay below 2^50 so their JSON number representation is exact.
+
+use iat_telemetry::{Event, Stamp};
+use proptest::collection;
+use proptest::prelude::*;
+
+const STATES: &[&str] = &["low-keep", "high-keep", "io-demand", "core-demand", "reclaim"];
+const ACTIONS: &[&str] = &["None", "GrowDdio", "ShrinkDdio", "GrowTenant", "ShrinkTenant", "Shuffle"];
+const REASONS: &[&str] = &["overlap-degraded", "exclude-violation", "occupancy-repair"];
+const TARGETS: &[&str] = &["clos", "assoc", "iio"];
+const TRENDS: &[&str] = &["up", "down", "flat"];
+
+/// Draws one string from a fixed pool.
+fn pick(pool: &'static [&'static str]) -> impl Strategy<Value = String> {
+    (0usize..pool.len()).prop_map(move |i| pool[i].to_owned())
+}
+
+fn stamp() -> impl Strategy<Value = Stamp> {
+    (0u64..1 << 20, 0u64..1 << 50).prop_map(|(iter, time_ns)| Stamp { iter, time_ns })
+}
+
+/// Any event variant. Wide variants nest tuples (the shim's tuple
+/// strategies stop at six elements).
+fn event() -> BoxedStrategy<Event> {
+    let counter = || 0u64..1 << 50;
+    prop_oneof![
+        (stamp(), 0u16..64, (counter(), counter(), counter(), counter(), counter())).prop_map(
+            |(stamp, tenant_count, (llc_refs, llc_misses, ddio_hits, ddio_misses, cost_ns))| {
+                Event::PollSample {
+                    stamp,
+                    tenant_count,
+                    llc_refs,
+                    llc_misses,
+                    ddio_hits,
+                    ddio_misses,
+                    cost_ns,
+                }
+            }
+        ),
+        (stamp(), pick(STATES), pick(STATES), (any::<bool>(), any::<bool>(), any::<bool>()))
+            .prop_map(|(stamp, from, to, (miss_high, at_min, at_max))| Event::FsmTransition {
+                stamp,
+                from,
+                to,
+                miss_high,
+                at_min,
+                at_max,
+            }),
+        (stamp(), 0u8..=20, 0u8..=20).prop_map(|(stamp, from_ways, to_ways)| {
+            Event::DdioResize { stamp, from_ways, to_ways }
+        }),
+        (stamp(), 0u16..32, 0u8..=20, 0u8..=20).prop_map(|(stamp, agent, from_ways, to_ways)| {
+            Event::TenantResize { stamp, agent, from_ways, to_ways }
+        }),
+        (stamp(), pick(REASONS)).prop_map(|(stamp, reason)| Event::Shuffle { stamp, reason }),
+        (stamp(), pick(TARGETS), 0u8..16, 0u32..1 << 20).prop_map(
+            |(stamp, target, clos, mask)| Event::MaskWrite { stamp, target, clos, mask }
+        ),
+        (stamp(), 0u16..32, counter())
+            .prop_map(|(stamp, vf, dropped)| Event::NicDrop { stamp, vf, dropped }),
+        (stamp(), 0u16..32, 0u32..4096, 1u32..=4096).prop_map(|(stamp, vf, len, capacity)| {
+            Event::RingOccupancy { stamp, vf, len, capacity }
+        }),
+        (stamp(), 0u64..1 << 30, 0u32..64, any::<bool>()).prop_map(
+            |(stamp, interval, phase, novel)| Event::PhaseBoundary { stamp, interval, phase, novel }
+        ),
+        (stamp(), pick(STATES), pick(ACTIONS), (any::<bool>(), counter(), counter())).prop_map(
+            |(stamp, state, action, (stable, msr_writes, cost_ns))| Event::Decision {
+                stamp,
+                state,
+                action,
+                stable,
+                msr_writes,
+                cost_ns,
+            }
+        ),
+        (
+            stamp(),
+            pick(STATES),
+            pick(STATES),
+            pick(ACTIONS),
+            (
+                any::<bool>(),
+                0u8..=20,
+                collection::vec(0u8..=20, 0..6),
+                counter(),
+                counter(),
+                pick(TRENDS),
+            ),
+            (0u8..=100, counter(), counter()),
+        )
+            .prop_map(
+                |(
+                    stamp,
+                    state_before,
+                    state_after,
+                    action,
+                    (stable, ddio_ways, tenant_ways, llc_refs, llc_misses, miss_trend),
+                    (occ_pct, msr_writes, cost_ns),
+                )| {
+                    Event::StepRecord {
+                        stamp,
+                        state_before,
+                        state_after,
+                        action,
+                        stable,
+                        ddio_ways,
+                        tenant_ways,
+                        llc_refs,
+                        llc_misses,
+                        miss_trend,
+                        occ_pct,
+                        msr_writes,
+                        cost_ns,
+                    }
+                }
+            ),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_variant_round_trips_through_jsonl(e in event()) {
+        let line = e.to_json().to_string();
+        prop_assert!(!line.contains('\n'), "JSONL line must be newline-free: {line:?}");
+        let back = Event::from_json_line(&line);
+        prop_assert!(back.is_ok(), "parse failed: {:?} on {line:?}", back.err());
+        prop_assert_eq!(back.unwrap(), e);
+    }
+
+    #[test]
+    fn kind_and_stamp_are_preserved_in_json(e in event()) {
+        let v = e.to_json();
+        prop_assert_eq!(v["type"].as_str().unwrap(), e.kind());
+        prop_assert_eq!(v["iter"].as_u64().unwrap(), e.stamp().iter);
+        prop_assert_eq!(v["time_ns"].as_u64().unwrap(), e.stamp().time_ns);
+    }
+}
