@@ -14,10 +14,12 @@
 //! committed exact capture; a bound violation *or* a silent fallback to
 //! exact execution (zero skipped epochs) fails the run.
 
+use iat_bench::corpus::CorpusSpec;
 use iat_runner::{
-    attach_sample_errors, bench_report, check_outputs, expected_costs, history_record, parse_args,
-    print_summary, progress, run, trajectory_eligible, trajectory_update, validate_history,
-    validate_trajectory, write_outputs, USAGE,
+    attach_sample_errors, bench_report, check_outputs, expected_costs, history_record, load_json,
+    parse_args, print_summary, progress, reset_staging_dirs, run, trajectory_eligible,
+    trajectory_update, unknown_filters, validate_history, validate_trajectory, write_outputs,
+    USAGE,
 };
 use std::path::Path;
 
@@ -37,19 +39,40 @@ fn main() {
         eprintln!("error: --check is exact-only (sampled captures never match the committed exact bytes)\n\n{USAGE}");
         std::process::exit(2);
     }
+    if cli.corpus.is_some() && (cli.check || cli.opts.smoke || !cli.opts.only.is_empty()) {
+        eprintln!("error: --corpus generates its own scenario registry and cannot combine with --check, --smoke or --only\n\n{USAGE}");
+        std::process::exit(2);
+    }
 
-    let reg = iat_bench::jobs::registry();
+    let reg = match cli.corpus {
+        Some(count) => iat_bench::corpus::registry(CorpusSpec { count, quick: false }),
+        None => iat_bench::jobs::registry(),
+    };
     if cli.list {
         for name in reg.names() {
             println!("{name}");
         }
         return;
     }
+    // An `--only` filter that names no figure group and no job would
+    // otherwise select nothing and the run would "succeed" having run
+    // zero jobs — reject it up front and show the valid vocabulary.
+    let unknown = unknown_filters(&reg, &cli.opts.only);
+    if !unknown.is_empty() {
+        eprintln!(
+            "error: --only [{}] matches no figure group or job\nvalid groups: {}\n(use --list for individual job names)",
+            unknown.join(", "),
+            reg.groups().join(" "),
+        );
+        std::process::exit(2);
+    }
 
     let exact_dir = Path::new("results");
-    // Sampled sweeps write to a gitignored side directory so they can
-    // never clobber the committed exact captures they are graded against.
-    let dir = if cli.opts.sampled {
+    // Sampled and corpus sweeps write to gitignored side directories so
+    // they can never clobber the committed exact captures.
+    let dir = if cli.corpus.is_some() {
+        Path::new("results/corpus")
+    } else if cli.opts.sampled {
         Path::new("results/sampled")
     } else {
         exact_dir
@@ -58,15 +81,16 @@ fn main() {
 
     // Seed longest-expected-first scheduling from the previous exact run's
     // per-figure costs, when a report exists. Scheduling only — output
-    // bytes are identical with or without the hint.
-    if let Ok(text) = std::fs::read_to_string(exact_dir.join("BENCH_repro.json")) {
-        if let Ok(doc) = serde_json::from_str(&text) {
-            cli.opts.expected_costs = expected_costs(&doc);
-        }
+    // bytes are identical with or without the hint; a corrupt report is
+    // worth a warning (something rewrote it) but never blocks the run.
+    match load_json(&exact_dir.join("BENCH_repro.json")) {
+        Ok(doc) => cli.opts.expected_costs = expected_costs(&doc),
+        Err(e) if e.is_not_found() => {}
+        Err(e) => progress(&format!("warning: ignoring scheduling-hint report: {e}")),
     }
 
     progress(&format!(
-        "repro: {} worker(s), seed {}{}{}{}{}",
+        "repro: {} worker(s), seed {}{}{}{}{}{}",
         cli.opts.jobs,
         cli.opts.root_seed,
         match cli.opts.slice_workers {
@@ -74,10 +98,23 @@ fn main() {
             Some(0) => ", serial oracle".to_owned(),
             Some(n) => format!(", {n} slice worker(s)"),
         },
+        cli.corpus
+            .map_or(String::new(), |n| format!(", corpus of {n}")),
         if cli.opts.sampled { ", sampled" } else { "" },
         if cli.opts.smoke { ", smoke subset" } else { "" },
         if cli.check { ", check mode" } else { "" },
     ));
+    // Run-scoped staging directories hold artifacts that are only
+    // meaningful for the flags of the run that wrote them (sampled
+    // captures, decision logs, corpus summaries). Clear them before any
+    // writing run so a previous run's leftovers can never be read as
+    // this run's output. Check mode is read-only and leaves them alone.
+    if !cli.check {
+        if let Err(e) = reset_staging_dirs(exact_dir, &["sampled", "decisions", "corpus"]) {
+            progress(&format!("error: clearing staging directories: {e}"));
+            std::process::exit(1);
+        }
+    }
     // Arm observability before any job runs: the span tracer feeds the
     // Chrome trace export, the decision capture feeds the per-group
     // flight-recorder logs. Both are observational — staged outputs stay
@@ -110,6 +147,39 @@ fn main() {
     }
 
     print_summary(&out, &cli.opts.expected_costs);
+
+    // Corpus runs are graded on their summary artifact: it must exist on
+    // disk, validate against the summary schema, and account for every
+    // requested scenario — a corpus sweep that ran nothing is an error.
+    if let Some(count) = cli.corpus {
+        let summary_path = dir.join("corpus_summary.json");
+        match load_json(&summary_path)
+            .and_then(|doc| {
+                iat_bench::corpus::validate_corpus_summary(&doc).map_err(|reason| {
+                    iat_runner::LoadError::Schema {
+                        path: summary_path.clone(),
+                        reason,
+                    }
+                })
+            }) {
+            Ok(ran) if ran == count => {
+                progress(&format!(
+                    "corpus summary validates: {ran} scenario(s) ran ({})",
+                    summary_path.display()
+                ));
+            }
+            Ok(ran) => {
+                progress(&format!(
+                    "error: corpus summary covers {ran} scenario(s), expected {count}"
+                ));
+                exit = 1;
+            }
+            Err(e) => {
+                progress(&format!("error: corpus summary: {e}"));
+                exit = 1;
+            }
+        }
+    }
 
     // Traced runs export the span timeline (Chrome trace-event JSON,
     // loadable in Perfetto) and one decision flight-recorder log per
@@ -175,7 +245,7 @@ fn main() {
     // and must actually have skipped epochs (a sampled run that silently
     // fell back to exact execution proves nothing about the error bound).
     let mut headlines: Vec<(String, f64, f64)> = Vec::new();
-    if cli.opts.sampled {
+    if cli.opts.sampled && cli.corpus.is_none() {
         match iat_bench::sampling::evaluate_sampled(&out, exact_dir) {
             Ok(checks) => {
                 progress("sampled vs committed exact headline metrics:");
@@ -262,41 +332,59 @@ fn main() {
 
     // One compact line per run accumulates in BENCH_history.jsonl (gitignored
     // — wall clock is machine-local) so perf work can see its own trajectory.
-    let line = history_record(&report);
-    validate_history(&line).expect("self-emitted history line validates");
-    let history_path = exact_dir.join("BENCH_history.jsonl");
-    let line = format!("{line}\n");
-    if let Err(e) = std::fs::create_dir_all(exact_dir).and_then(|()| {
-        std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&history_path)
-            .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()))
-    }) {
-        progress(&format!("error: appending {}: {e}", history_path.display()));
-        exit = 1;
+    // Corpus runs stay out: their job set is generated, so their costs are
+    // not comparable with the figure sweep the history tracks.
+    if cli.corpus.is_none() {
+        let line = history_record(&report);
+        validate_history(&line).expect("self-emitted history line validates");
+        let history_path = exact_dir.join("BENCH_history.jsonl");
+        let line = format!("{line}\n");
+        if let Err(e) = std::fs::create_dir_all(exact_dir).and_then(|()| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&history_path)
+                .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()))
+        }) {
+            progress(&format!("error: appending {}: {e}", history_path.display()));
+            exit = 1;
+        }
     }
 
     // Full exact all-ok runs also refresh the committed PR-level trajectory
     // (deduplicated on the run fingerprint, capped — see iat_runner). Check
-    // mode regenerates but does not write, so it stays read-only here too.
-    if !cli.check && trajectory_eligible(&report, &cli.opts) {
+    // mode regenerates but does not write, so it stays read-only here too;
+    // corpus runs never touch it (different job set, different fingerprint).
+    if !cli.check && cli.corpus.is_none() && trajectory_eligible(&report, &cli.opts) {
         let trajectory_path = exact_dir.join("BENCH_trajectory.json");
-        let prev = std::fs::read_to_string(&trajectory_path)
-            .ok()
-            .and_then(|text| serde_json::from_str(&text).ok())
-            .unwrap_or(serde_json::Value::Null);
-        let doc = trajectory_update(&prev, &report);
-        validate_trajectory(&doc).expect("self-emitted trajectory validates");
-        let json = serde_json::to_string_pretty(&doc).expect("trajectory serializes");
-        match std::fs::write(&trajectory_path, format!("{json}\n")) {
-            Ok(()) => progress(&format!("wrote {}", trajectory_path.display())),
+        // The trajectory is a committed capture: silently dropping a
+        // corrupt one (the old `.ok()` fallback) would rewrite history
+        // from scratch. Absence is the normal first-run case; anything
+        // else is a hard error.
+        let prev = match load_json(&trajectory_path) {
+            Ok(doc) => Some(doc),
+            Err(e) if e.is_not_found() => Some(serde_json::Value::Null),
             Err(e) => {
                 progress(&format!(
-                    "error: writing {}: {e}",
-                    trajectory_path.display()
+                    "error: committed trajectory is unreadable (fix or remove it): {e}"
                 ));
                 exit = 1;
+                None
+            }
+        };
+        if let Some(prev) = prev {
+            let doc = trajectory_update(&prev, &report);
+            validate_trajectory(&doc).expect("self-emitted trajectory validates");
+            let json = serde_json::to_string_pretty(&doc).expect("trajectory serializes");
+            match std::fs::write(&trajectory_path, format!("{json}\n")) {
+                Ok(()) => progress(&format!("wrote {}", trajectory_path.display())),
+                Err(e) => {
+                    progress(&format!(
+                        "error: writing {}: {e}",
+                        trajectory_path.display()
+                    ));
+                    exit = 1;
+                }
             }
         }
     }

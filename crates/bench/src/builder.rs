@@ -1,0 +1,752 @@
+//! Scenarios as data: a declarative description of a platform setup
+//! (geometry × NIC × tenants × workloads × traffic shapes × policy) and
+//! the compiler that turns one into a runnable [`Managed`] simulation or
+//! raw [`Platform`].
+//!
+//! A [`ScenarioDesc`] is plain data — no closures, no allocations, no
+//! RNG state — so it can be derived programmatically (the generated
+//! corpus in [`crate::corpus`]), enumerated in the named-scenario
+//! catalog ([`crate::catalog`]), and compiled deterministically: the
+//! only free input of [`compile`] is the scenario seed, and every
+//! workload/traffic seed is `seed + declared offset`.
+//!
+//! ## Compile-order contract
+//!
+//! The compiled platform must be **byte-identical** to what the
+//! hand-written constructors in [`crate::scenarios`] used to build
+//! (the committed captures pin this through `repro --check`), so
+//! [`compile`] fixes the order of every side effect:
+//!
+//! 1. the NIC is created first (its rings/pool live at [`NIC_BASE`],
+//!    outside the workload heap allocator);
+//! 2. tenants are processed in declaration order; each tenant's
+//!    workload performs its [`AddrAlloc`] allocations and channel
+//!    registrations in the order its fields are documented below;
+//! 3. tenant `i` is registered as `TenantId(i)` / `AgentId(i)` /
+//!    `ClosId(i + 1)`;
+//! 4. for unmanaged scenarios, static way masks are applied after all
+//!    tenants, in declaration order, then core associations in the
+//!    same order.
+
+use crate::harness::Managed;
+use crate::scenarios::{make_policy, PolicyKind, BUF_STRIDE, NIC_BASE, RING_ENTRIES};
+use iat::{Priority, TenantInfo};
+use iat_cachesim::{AgentId, WayMask};
+use iat_netsim::{FlowDist, Nic, RxRing, TrafficGen, TrafficPattern, VfId};
+use iat_platform::{Platform, PlatformConfig, Tenant, TenantId, TrafficBinding};
+use iat_rdt::ClosId;
+use iat_workloads::{
+    AddrAlloc, Attachment, ChannelEcho, ChannelId, HashRegion, KvConfig, KvStore, L3Fwd, NfChain,
+    NfChainConfig, OvsConfig, OvsSwitch, RocksConfig, RocksLike, SpecProfile, SpecWorkload,
+    TestPmd, Workload, XMem, YcsbMix,
+};
+
+/// NIC geometry of a scenario: ports (VFs), descriptor ring depth, mbuf
+/// stride, and pool size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NicDesc {
+    /// Number of virtual functions.
+    pub ports: u8,
+    /// Rx/Tx descriptor ring depth per port.
+    pub ring_entries: usize,
+    /// mbuf stride in bytes.
+    pub buf_stride: u64,
+    /// mbuf pool size per port.
+    pub pool: usize,
+}
+
+impl NicDesc {
+    /// The paper's default NIC geometry with `ports` VFs (1024-entry
+    /// rings, 2112 B mbufs, 3072-mbuf pool — grown to the ring depth
+    /// when a scenario asks for deeper rings).
+    pub fn ports(ports: u8) -> NicDesc {
+        NicDesc {
+            ports,
+            ring_entries: RING_ENTRIES,
+            buf_stride: BUF_STRIDE,
+            pool: crate::scenarios::MBUF_POOL,
+        }
+    }
+
+    /// Overrides the descriptor ring depth (the pool grows to match when
+    /// the ring outgrows the default pool, like real DPDK mempools).
+    #[must_use]
+    pub fn ring_entries(mut self, entries: usize) -> NicDesc {
+        self.ring_entries = entries;
+        self.pool = self.pool.max(entries);
+        self
+    }
+}
+
+/// One traffic generator bound to a port of the tenant's workload. The
+/// generator's seed is `scenario seed + seed_offset`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficDesc {
+    /// Index into the workload's port list.
+    pub port: usize,
+    /// Offered rate in bits per second.
+    pub rate_bps: u64,
+    /// Packet size in bytes.
+    pub packet_bytes: u32,
+    /// Flow-id distribution.
+    pub dist: FlowDist,
+    /// Temporal shape.
+    pub pattern: TrafficPattern,
+    /// Added to the scenario seed to form this generator's seed.
+    pub seed_offset: u64,
+}
+
+impl TrafficDesc {
+    /// Constant-rate traffic on `port` (seed offset 0).
+    pub fn new(port: usize, rate_bps: u64, packet_bytes: u32, dist: FlowDist) -> TrafficDesc {
+        TrafficDesc {
+            port,
+            rate_bps,
+            packet_bytes,
+            dist,
+            pattern: TrafficPattern::Constant,
+            seed_offset: 0,
+        }
+    }
+
+    /// Sets the temporal shape.
+    #[must_use]
+    pub fn pattern(mut self, pattern: TrafficPattern) -> TrafficDesc {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Sets the seed offset (distinct generators in one scenario must
+    /// use distinct offsets or they replay each other's randomness).
+    #[must_use]
+    pub fn seed_offset(mut self, offset: u64) -> TrafficDesc {
+        self.seed_offset = offset;
+        self
+    }
+}
+
+/// The workload a tenant runs, as data. Allocation order within each
+/// variant is part of the compile contract (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadDesc {
+    /// An OVS-style software switch: clones the listed NIC ports, then
+    /// creates `attachments` virtio channel pairs (to-tenant then
+    /// from-tenant, appended to the scenario channel table in order),
+    /// then allocates the EMC and megaflow tables.
+    Ovs {
+        /// NIC ports (VF indices) the switch polls.
+        ports: Vec<u8>,
+        /// Number of attached tenants (channel pairs).
+        attachments: usize,
+        /// Exact-match cache entries (64 B each).
+        emc_entries: u64,
+        /// Megaflow table entries (64 B each).
+        mega_entries: u64,
+    },
+    /// A testpmd-style echo over channel pair `attachment` (an index
+    /// into the channel table filled by an earlier `Ovs` tenant).
+    ChannelEcho {
+        /// Channel-pair index.
+        attachment: usize,
+    },
+    /// A KV store (Redis-like) served over channel pair `attachment`.
+    KvStore {
+        /// Channel-pair index.
+        attachment: usize,
+        /// Heap bytes to allocate for the record store.
+        heap_bytes: u64,
+        /// Store geometry.
+        config: KvConfig,
+        /// YCSB operation mix.
+        mix: YcsbMix,
+        /// Added to the scenario seed.
+        seed_offset: u64,
+    },
+    /// testpmd forwarding directly on the listed NIC ports.
+    TestPmd {
+        /// NIC ports (VF indices).
+        ports: Vec<u8>,
+    },
+    /// l3fwd on one NIC port with a `flow_entries`-entry hash table
+    /// (64 B per entry).
+    L3Fwd {
+        /// NIC port (VF index).
+        port: u8,
+        /// Flow-table entries.
+        flow_entries: u64,
+    },
+    /// A FastClick-style firewall→stats→NAPT chain on the listed ports,
+    /// with `state_bytes` of chain state.
+    NfChain {
+        /// NIC ports (VF indices).
+        ports: Vec<u8>,
+        /// Chain state bytes to allocate.
+        state_bytes: u64,
+        /// Chain table geometry.
+        config: NfChainConfig,
+    },
+    /// The X-Mem microbenchmark: random accesses over `working_set`
+    /// bytes of a `heap_bytes` heap.
+    XMem {
+        /// Heap bytes to allocate.
+        heap_bytes: u64,
+        /// Initial working-set bytes.
+        working_set: u64,
+        /// Added to the scenario seed.
+        seed_offset: u64,
+    },
+    /// A SPEC CPU2006 memory profile.
+    Spec {
+        /// The profile (footprint, locality).
+        profile: SpecProfile,
+        /// Added to the scenario seed.
+        seed_offset: u64,
+    },
+    /// The RocksDB-like memtable store under a YCSB mix.
+    Rocks {
+        /// Heap bytes to allocate.
+        heap_bytes: u64,
+        /// YCSB operation mix.
+        mix: YcsbMix,
+        /// Added to the scenario seed.
+        seed_offset: u64,
+    },
+}
+
+/// One tenant: a workload, its placement, and its policy-facing
+/// attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantDesc {
+    /// Report name.
+    pub name: String,
+    /// Cores the tenant is pinned to.
+    pub cores: Vec<usize>,
+    /// The workload.
+    pub workload: WorkloadDesc,
+    /// Traffic generators bound to the workload's ports.
+    pub traffic: Vec<TrafficDesc>,
+    /// Policy priority class.
+    pub priority: Priority,
+    /// Whether the policy treats the tenant as I/O-involved.
+    pub is_io: bool,
+    /// Ways the policy grants initially.
+    pub initial_ways: u8,
+    /// For unmanaged scenarios only: a fixed `(first_way, way_count)`
+    /// CAT mask applied at compile time.
+    pub static_mask: Option<(u8, u8)>,
+}
+
+impl TenantDesc {
+    /// A PC tenant with no cores, traffic, or mask (fill in fluently).
+    pub fn new(name: impl Into<String>, workload: WorkloadDesc) -> TenantDesc {
+        TenantDesc {
+            name: name.into(),
+            cores: Vec::new(),
+            workload,
+            traffic: Vec::new(),
+            priority: Priority::Pc,
+            is_io: false,
+            initial_ways: 2,
+            static_mask: None,
+        }
+    }
+
+    /// Pins the tenant to `cores`.
+    #[must_use]
+    pub fn cores(mut self, cores: &[usize]) -> TenantDesc {
+        self.cores = cores.to_vec();
+        self
+    }
+
+    /// Sets the priority class.
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> TenantDesc {
+        self.priority = priority;
+        self
+    }
+
+    /// Marks the tenant as I/O-involved for the policy.
+    #[must_use]
+    pub fn io(mut self) -> TenantDesc {
+        self.is_io = true;
+        self
+    }
+
+    /// Sets the initial way grant.
+    #[must_use]
+    pub fn ways(mut self, ways: u8) -> TenantDesc {
+        self.initial_ways = ways;
+        self
+    }
+
+    /// Fixes a static CAT mask (unmanaged scenarios only).
+    #[must_use]
+    pub fn static_mask(mut self, first: u8, count: u8) -> TenantDesc {
+        self.static_mask = Some((first, count));
+        self
+    }
+
+    /// Binds a traffic generator.
+    #[must_use]
+    pub fn traffic(mut self, traffic: TrafficDesc) -> TenantDesc {
+        self.traffic.push(traffic);
+        self
+    }
+}
+
+/// A mid-run perturbation the scenario driver applies between intervals
+/// (see [`apply_action`]); how the corpus models tenant churn,
+/// working-set growth, and load swings without new figure modules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioAction {
+    /// Resize tenant `tenant`'s X-Mem working set (arrival/departure/
+    /// growth; the tenant must be an [`WorkloadDesc::XMem`]).
+    SetWorkingSet {
+        /// Tenant index (declaration order).
+        tenant: usize,
+        /// New working-set bytes.
+        bytes: u64,
+    },
+    /// Change the offered rate of binding `binding` of tenant `tenant`.
+    SetRate {
+        /// Tenant index (declaration order).
+        tenant: usize,
+        /// Binding index within the tenant.
+        binding: usize,
+        /// New rate in bits per second.
+        rate_bps: u64,
+    },
+    /// Manually repoint DDIO at a contiguous way range (the Fig. 10
+    /// "widen DDIO mid-run" move, as data).
+    SetDdioWays {
+        /// First way of the new DDIO mask.
+        first: u8,
+        /// Way count of the new DDIO mask.
+        count: u8,
+    },
+}
+
+/// A [`ScenarioAction`] scheduled after `after_intervals` completed
+/// measurement intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioEvent {
+    /// Intervals completed before the action fires.
+    pub after_intervals: usize,
+    /// What happens.
+    pub action: ScenarioAction,
+}
+
+/// A complete scenario description: pure data, compiled by [`compile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDesc {
+    /// Scenario name (reports and corpus summaries).
+    pub name: String,
+    /// Platform geometry.
+    pub config: PlatformConfig,
+    /// NIC geometry, when the scenario has I/O.
+    pub nic: Option<NicDesc>,
+    /// Tenants in declaration order (`TenantId(i)`, `ClosId(i + 1)`).
+    pub tenants: Vec<TenantDesc>,
+    /// LLC management policy; `None` compiles to a raw [`Platform`]
+    /// with the tenants' static masks applied.
+    pub policy: Option<PolicyKind>,
+    /// Managed-run interval length in modelled nanoseconds.
+    pub interval_ns: u64,
+    /// Scheduled mid-run perturbations (ignored by [`compile`]; applied
+    /// by interval drivers like [`crate::corpus`]).
+    pub events: Vec<ScenarioEvent>,
+}
+
+/// Fluent construction of a [`ScenarioDesc`].
+///
+/// ```
+/// use iat_bench::builder::{ScenarioBuilder, TenantDesc, WorkloadDesc};
+/// let desc = ScenarioBuilder::new("solo-xmem")
+///     .policy(iat_bench::scenarios::PolicyKind::Iat)
+///     .tenant(
+///         TenantDesc::new("xmem", WorkloadDesc::XMem {
+///             heap_bytes: 64 << 20,
+///             working_set: 2 << 20,
+///             seed_offset: 0,
+///         })
+///         .cores(&[0]),
+///     )
+///     .desc();
+/// assert_eq!(desc.tenants.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    desc: ScenarioDesc,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario on the paper's Xeon 6140 geometry with 1 s
+    /// intervals, no NIC, and no policy.
+    pub fn new(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            desc: ScenarioDesc {
+                name: name.into(),
+                config: PlatformConfig::xeon_6140(),
+                nic: None,
+                tenants: Vec::new(),
+                policy: None,
+                interval_ns: 1_000_000_000,
+                events: Vec::new(),
+            },
+        }
+    }
+
+    /// Overrides the platform geometry.
+    #[must_use]
+    pub fn geometry(mut self, config: PlatformConfig) -> ScenarioBuilder {
+        self.desc.config = config;
+        self
+    }
+
+    /// Adds a NIC.
+    #[must_use]
+    pub fn nic(mut self, nic: NicDesc) -> ScenarioBuilder {
+        self.desc.nic = Some(nic);
+        self
+    }
+
+    /// Sets the management policy (compiles to [`Built::Managed`]).
+    #[must_use]
+    pub fn policy(mut self, kind: PolicyKind) -> ScenarioBuilder {
+        self.desc.policy = Some(kind);
+        self
+    }
+
+    /// Sets the managed-run interval length.
+    #[must_use]
+    pub fn interval_ns(mut self, ns: u64) -> ScenarioBuilder {
+        self.desc.interval_ns = ns;
+        self
+    }
+
+    /// Appends a tenant.
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantDesc) -> ScenarioBuilder {
+        self.desc.tenants.push(tenant);
+        self
+    }
+
+    /// Schedules a mid-run action.
+    #[must_use]
+    pub fn event(mut self, after_intervals: usize, action: ScenarioAction) -> ScenarioBuilder {
+        self.desc
+            .events
+            .push(ScenarioEvent { after_intervals, action });
+        self
+    }
+
+    /// Finishes, returning the description.
+    pub fn desc(self) -> ScenarioDesc {
+        self.desc
+    }
+
+    /// Shorthand for `compile(&self.desc(), seed)`.
+    pub fn build(self, seed: u64) -> Built {
+        compile(&self.desc(), seed)
+    }
+}
+
+/// What [`compile`] produces.
+pub enum Built {
+    /// A policy-managed simulation (the scenario declared a policy).
+    Managed(Managed),
+    /// A raw platform with static masks (no policy declared).
+    Raw(Platform),
+}
+
+impl Built {
+    /// Unwraps the managed simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scenario declared no policy.
+    pub fn into_managed(self) -> Managed {
+        match self {
+            Built::Managed(m) => m,
+            Built::Raw(_) => panic!("scenario has no policy; use into_platform"),
+        }
+    }
+
+    /// Unwraps the raw platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scenario declared a policy.
+    pub fn into_platform(self) -> Platform {
+        match self {
+            Built::Raw(p) => p,
+            Built::Managed(_) => panic!("scenario declared a policy; use into_managed"),
+        }
+    }
+}
+
+/// Compiles a scenario description into a runnable simulation, with all
+/// randomness derived from `seed` plus the declared per-workload and
+/// per-generator offsets. See the module docs for the side-effect-order
+/// contract that keeps compiled scenarios byte-identical to the former
+/// hand-written constructors.
+///
+/// # Panics
+///
+/// Panics on structurally invalid descriptions: channel workloads
+/// without a preceding `Ovs` tenant, NIC workloads without a NIC,
+/// out-of-range ports/ways/cores. Descriptions are authored (catalog)
+/// or generated (corpus) in-crate, so these are programming errors,
+/// not runtime conditions.
+pub fn compile(desc: &ScenarioDesc, seed: u64) -> Built {
+    let config = desc.config;
+    let mut platform = Platform::new(config);
+    let mut alloc = AddrAlloc::new();
+    let mut nic = desc
+        .nic
+        .map(|n| Nic::with_pool(NIC_BASE, n.ports, n.ring_entries, n.buf_stride, n.pool));
+    // Channel pairs (to-tenant, from-tenant) in creation order; channel
+    // workloads reference them by index.
+    let mut channels: Vec<(ChannelId, ChannelId)> = Vec::new();
+
+    let mk_chan = |platform: &mut Platform, alloc: &mut AddrAlloc| {
+        let base = alloc.alloc(RING_ENTRIES as u64 * (BUF_STRIDE + 64) + (1 << 20));
+        platform
+            .channels_mut()
+            .add(RxRing::new(base, RING_ENTRIES, BUF_STRIDE))
+    };
+
+    for (i, t) in desc.tenants.iter().enumerate() {
+        let workload: Box<dyn Workload> = match &t.workload {
+            WorkloadDesc::Ovs { ports, attachments, emc_entries, mega_entries } => {
+                let nic = nic.as_mut().expect("Ovs workload needs a NIC");
+                let vfs: Vec<_> = ports.iter().map(|&p| nic.vf_mut(VfId(p)).clone()).collect();
+                let mut atts = Vec::new();
+                for _ in 0..*attachments {
+                    let to = mk_chan(&mut platform, &mut alloc);
+                    let from = mk_chan(&mut platform, &mut alloc);
+                    channels.push((to, from));
+                    atts.push(Attachment { to_tenant: to, from_tenant: from });
+                }
+                let emc = alloc.alloc(emc_entries * 64);
+                let mega = alloc.alloc(mega_entries * 64);
+                Box::new(OvsSwitch::new(vfs, atts, emc, mega, OvsConfig::default()))
+            }
+            WorkloadDesc::ChannelEcho { attachment } => {
+                let (to, from) = channels[*attachment];
+                Box::new(ChannelEcho::new(to, from))
+            }
+            WorkloadDesc::KvStore { attachment, heap_bytes, config, mix, seed_offset } => {
+                let (to, from) = channels[*attachment];
+                let base = alloc.alloc(*heap_bytes);
+                Box::new(KvStore::new(
+                    to,
+                    from,
+                    base,
+                    *config,
+                    *mix,
+                    seed.wrapping_add(*seed_offset),
+                ))
+            }
+            WorkloadDesc::TestPmd { ports } => {
+                let nic = nic.as_mut().expect("TestPmd workload needs a NIC");
+                let vfs: Vec<_> = ports.iter().map(|&p| nic.vf_mut(VfId(p)).clone()).collect();
+                Box::new(TestPmd::with_ports(vfs))
+            }
+            WorkloadDesc::L3Fwd { port, flow_entries } => {
+                let nic = nic.as_mut().expect("L3Fwd workload needs a NIC");
+                let table = HashRegion::new(alloc.alloc(flow_entries * 64), *flow_entries, 1);
+                Box::new(L3Fwd::new(nic.vf_mut(VfId(*port)).clone(), table))
+            }
+            WorkloadDesc::NfChain { ports, state_bytes, config } => {
+                let nic = nic.as_mut().expect("NfChain workload needs a NIC");
+                let vfs: Vec<_> = ports.iter().map(|&p| nic.vf_mut(VfId(p)).clone()).collect();
+                let state = alloc.alloc(*state_bytes);
+                Box::new(NfChain::with_ports(vfs, state, *config))
+            }
+            WorkloadDesc::XMem { heap_bytes, working_set, seed_offset } => Box::new(XMem::new(
+                alloc.alloc(*heap_bytes),
+                *working_set,
+                seed.wrapping_add(*seed_offset),
+            )),
+            WorkloadDesc::Spec { profile, seed_offset } => {
+                let base = alloc.alloc(profile.footprint + (1 << 20));
+                Box::new(SpecWorkload::new(base, *profile, seed.wrapping_add(*seed_offset)))
+            }
+            WorkloadDesc::Rocks { heap_bytes, mix, seed_offset } => Box::new(RocksLike::new(
+                alloc.alloc(*heap_bytes),
+                RocksConfig::default(),
+                *mix,
+                seed.wrapping_add(*seed_offset),
+            )),
+        };
+
+        let bindings = t
+            .traffic
+            .iter()
+            .map(|b| TrafficBinding {
+                port: b.port,
+                gen: TrafficGen::new(
+                    b.rate_bps,
+                    b.packet_bytes,
+                    b.dist.clone(),
+                    b.pattern,
+                    seed.wrapping_add(b.seed_offset),
+                ),
+            })
+            .collect();
+
+        platform.add_tenant(Tenant {
+            id: TenantId(i as u16),
+            name: t.name.clone(),
+            agent: AgentId::new(i as u16),
+            cores: t.cores.clone(),
+            clos: ClosId::new(i as u8 + 1),
+            workload,
+            bindings,
+        });
+    }
+
+    match desc.policy {
+        Some(kind) => {
+            let infos = desc
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(i, t)| TenantInfo {
+                    agent: AgentId::new(i as u16),
+                    clos: ClosId::new(i as u8 + 1),
+                    cores: t.cores.clone(),
+                    priority: t.priority,
+                    is_io: t.is_io,
+                    initial_ways: t.initial_ways,
+                })
+                .collect();
+            let policy = make_policy(kind, config.llc.ways(), &config);
+            Built::Managed(Managed::new(platform, policy, infos, desc.interval_ns))
+        }
+        None => {
+            for (i, t) in desc.tenants.iter().enumerate() {
+                if let Some((first, count)) = t.static_mask {
+                    platform
+                        .rdt_mut()
+                        .set_clos_mask(
+                            ClosId::new(i as u8 + 1),
+                            WayMask::contiguous(first, count).expect("mask"),
+                        )
+                        .expect("valid mask");
+                }
+            }
+            for (i, t) in desc.tenants.iter().enumerate() {
+                if t.static_mask.is_some() {
+                    for &c in &t.cores {
+                        platform
+                            .rdt_mut()
+                            .associate_core(c, ClosId::new(i as u8 + 1))
+                            .expect("core exists");
+                    }
+                }
+            }
+            Built::Raw(platform)
+        }
+    }
+}
+
+/// Applies one scheduled action to a running managed scenario.
+///
+/// # Panics
+///
+/// Panics when the action references a tenant/binding the description
+/// does not have, or targets a non-X-Mem tenant with `SetWorkingSet` —
+/// description bugs, like [`compile`]'s.
+pub fn apply_action(m: &mut Managed, action: &ScenarioAction) {
+    match action {
+        ScenarioAction::SetWorkingSet { tenant, bytes } => {
+            m.platform
+                .tenant_mut(TenantId(*tenant as u16))
+                .workload
+                .as_any_mut()
+                .downcast_mut::<XMem>()
+                .expect("SetWorkingSet targets an X-Mem tenant")
+                .set_working_set(*bytes);
+        }
+        ScenarioAction::SetRate { tenant, binding, rate_bps } => {
+            m.platform.tenant_mut(TenantId(*tenant as u16)).bindings[*binding]
+                .gen
+                .set_rate(*rate_bps);
+        }
+        ScenarioAction::SetDdioWays { first, count } => {
+            m.platform
+                .rdt_mut()
+                .set_ddio_mask(WayMask::contiguous(*first, *count).expect("mask"))
+                .expect("valid DDIO mask");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xmem_tenant(name: &str, core: usize, offset: u64) -> TenantDesc {
+        TenantDesc::new(
+            name,
+            WorkloadDesc::XMem { heap_bytes: 64 << 20, working_set: 2 << 20, seed_offset: offset },
+        )
+        .cores(&[core])
+    }
+
+    #[test]
+    fn compile_is_a_pure_function_of_desc_and_seed() {
+        let desc = ScenarioBuilder::new("t")
+            .geometry(PlatformConfig::tiny())
+            .policy(PolicyKind::Baseline(0))
+            .interval_ns(100_000_000)
+            .tenant(xmem_tenant("a", 0, 0))
+            .tenant(xmem_tenant("b", 1, 1))
+            .desc();
+        let run = |seed| {
+            let mut m = compile(&desc, seed).into_managed();
+            m.run_intervals(2);
+            let p = m.observe();
+            (m.accesses(), p.system.mem_read_bytes, p.system.mem_write_bytes)
+        };
+        assert_eq!(run(7), run(7), "same desc + seed => identical simulation");
+        assert_ne!(run(7), run(8), "the seed must actually reach the workloads");
+    }
+
+    #[test]
+    fn unmanaged_compile_applies_static_masks() {
+        let desc = ScenarioBuilder::new("masks")
+            .geometry(PlatformConfig::tiny())
+            .tenant(xmem_tenant("a", 0, 0).static_mask(0, 2))
+            .desc();
+        let platform = compile(&desc, 1).into_platform();
+        assert_eq!(platform.tenants().len(), 1);
+        assert_eq!(
+            platform.rdt().clos_mask(ClosId::new(1)).count(),
+            2,
+            "static mask lands on the tenant's CLOS"
+        );
+    }
+
+    #[test]
+    fn events_are_data_not_side_effects() {
+        let desc = ScenarioBuilder::new("ev")
+            .geometry(PlatformConfig::tiny())
+            .policy(PolicyKind::Baseline(0))
+            .tenant(xmem_tenant("a", 0, 0))
+            .event(1, ScenarioAction::SetWorkingSet { tenant: 0, bytes: 8 << 20 })
+            .desc();
+        let mut m = compile(&desc, 3).into_managed();
+        apply_action(&mut m, &desc.events[0].action);
+        let ws = m.platform
+            .tenant_mut(TenantId(0))
+            .workload
+            .as_any_mut()
+            .downcast_mut::<XMem>()
+            .unwrap()
+            .working_set();
+        assert_eq!(ws, 8 << 20);
+    }
+}

@@ -1,27 +1,18 @@
 //! The full figure/table job registry and the shared entry points used
 //! by the `repro` binary and the per-figure alias binaries.
 
-use crate::figures;
+use crate::catalog;
 use iat_runner::{progress, run, write_outputs, Outcome, Registry, RunOptions};
 use std::path::Path;
 
-/// Builds the registry of every paper figure/table job. Registration
-/// order is the output order — it never depends on worker scheduling.
+/// Builds the registry of every paper figure/table job by walking the
+/// figure catalog ([`catalog::FIGURES`]). Registration order is the
+/// output order — it never depends on worker scheduling.
 pub fn registry() -> Registry {
     let mut reg = Registry::new();
-    figures::table1::register(&mut reg);
-    figures::table2::register(&mut reg);
-    figures::fig03::register(&mut reg);
-    figures::fig04::register(&mut reg);
-    figures::fig08::register(&mut reg);
-    figures::fig09::register(&mut reg);
-    figures::fig10::register(&mut reg);
-    figures::fig11::register(&mut reg);
-    figures::fig12::register(&mut reg);
-    figures::fig13::register(&mut reg);
-    figures::fig14::register(&mut reg);
-    figures::fig15::register(&mut reg);
-    figures::ablation::register(&mut reg);
+    for fig in catalog::FIGURES {
+        (fig.register)(&mut reg);
+    }
     reg
 }
 

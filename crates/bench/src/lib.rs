@@ -20,6 +20,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
+pub mod catalog;
+pub mod corpus;
 mod figures;
 pub mod harness;
 pub mod jobs;

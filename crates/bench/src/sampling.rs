@@ -230,10 +230,8 @@ pub fn evaluate_sampled(
             .ok_or_else(|| format!("{}: no headline in the sampled capture", spec.figure))?;
 
         let path = committed_dir.join(&file);
-        let exact: Value = std::fs::read_to_string(&path)
-            .ok()
-            .and_then(|s| serde_json::from_str(&s).ok())
-            .ok_or_else(|| format!("{}: cannot read committed {}", spec.figure, path.display()))?;
+        let exact: Value = iat_runner::load_json(&path)
+            .map_err(|e| format!("{}: committed capture: {e}", spec.figure))?;
         let exact = headline(spec.figure, &exact)
             .ok_or_else(|| format!("{}: no headline in the committed capture", spec.figure))?;
 

@@ -1,19 +1,17 @@
-//! Scenario builders reproducing the paper's experimental setups
-//! (Sec. VI-A/B/C), shared by the per-figure binaries and the integration
-//! tests.
+//! The paper's experimental setups (Sec. VI-A/B/C) as thin wrappers
+//! over the scenario catalog: each constructor selects a named
+//! [`crate::catalog::ScenarioParams`] entry and compiles it with
+//! [`crate::builder::compile`]. The platform/tenant values themselves
+//! live in [`crate::catalog::describe`] — a scenario is data, not a
+//! module — and the committed captures pin the compiled output
+//! byte-for-byte.
 
+use crate::catalog::{build, ScenarioParams};
 use crate::harness::Managed;
-use iat::{IatConfig, IatDaemon, IatFlags, LlcPolicy, Priority, StaticCat, TenantInfo};
-use iat_cachesim::AgentId;
-use iat_netsim::{FlowDist, FlowId, Nic, RxRing, TrafficGen, TrafficPattern, VfId};
+use iat::{IatConfig, IatDaemon, IatFlags, LlcPolicy, StaticCat};
 use iat_perf::IntervalDeltas;
-use iat_platform::{Platform, PlatformConfig, Tenant, TenantId, TrafficBinding};
-use iat_rdt::ClosId;
-use iat_workloads::{
-    AddrAlloc, ChannelEcho, HashRegion, KvConfig, KvStore, L3Fwd, NfChain, NfChainConfig,
-    OvsConfig, OvsSwitch, RocksConfig, RocksLike, SpecProfile, SpecWorkload, TestPmd,
-    WorkloadMetrics, XMem, YcsbMix,
-};
+use iat_platform::{Platform, PlatformConfig, TenantId};
+use iat_workloads::{SpecProfile, WorkloadMetrics, YcsbMix};
 
 /// Rx/Tx descriptor ring depth (the paper's default of 1024 entries).
 pub const RING_ENTRIES: usize = 1024;
@@ -96,10 +94,6 @@ pub fn make_policy(kind: PolicyKind, ways: u8, config: &PlatformConfig) -> Box<d
     }
 }
 
-fn gen(rate_bps: u64, pkt: u32, dist: FlowDist, seed: u64) -> TrafficGen {
-    TrafficGen::new(rate_bps, pkt, dist, TrafficPattern::Constant, seed)
-}
-
 /// Tenant ids of the aggregation microbenchmark (Fig. 8/9).
 #[derive(Debug, Clone, Copy)]
 pub struct AggregationIds {
@@ -119,123 +113,13 @@ pub fn fwd_aggregation(
     policy: PolicyKind,
     seed: u64,
 ) -> (Managed, AggregationIds) {
-    let config = PlatformConfig::xeon_6140();
-    let mut platform = Platform::new(config);
-    let mut alloc = AddrAlloc::new();
-
-    let mut nic = Nic::with_pool(NIC_BASE, 2, RING_ENTRIES, BUF_STRIDE, MBUF_POOL);
-    let ports = vec![nic.vf_mut(VfId(0)).clone(), nic.vf_mut(VfId(1)).clone()];
-
-    // Virtio-style channels between OVS and the two tenants.
-    let mk_chan = |platform: &mut Platform, alloc: &mut AddrAlloc| {
-        let base = alloc.alloc(RING_ENTRIES as u64 * (BUF_STRIDE + 64) + (1 << 20));
-        platform
-            .channels_mut()
-            .add(RxRing::new(base, RING_ENTRIES, BUF_STRIDE))
+    let params = ScenarioParams::Aggregation {
+        packet_bytes,
+        flows_per_port,
+        policy,
     };
-    let to0 = mk_chan(&mut platform, &mut alloc);
-    let from0 = mk_chan(&mut platform, &mut alloc);
-    let to1 = mk_chan(&mut platform, &mut alloc);
-    let from1 = mk_chan(&mut platform, &mut alloc);
-
-    let emc_base = alloc.alloc(8192 * 64);
-    let mega_base = alloc.alloc((1u64 << 20) * 64);
-    let ovs = OvsSwitch::new(
-        ports,
-        vec![
-            iat_workloads::Attachment {
-                to_tenant: to0,
-                from_tenant: from0,
-            },
-            iat_workloads::Attachment {
-                to_tenant: to1,
-                from_tenant: from1,
-            },
-        ],
-        emc_base,
-        mega_base,
-        OvsConfig::default(),
-    );
-
-    let dist = |first_flow: u32| {
-        if flows_per_port <= 1 {
-            FlowDist::Single(FlowId(first_flow))
-        } else {
-            FlowDist::Uniform {
-                count: flows_per_port,
-            }
-        }
-    };
-
-    platform.add_tenant(Tenant {
-        id: TenantId(0),
-        name: "ovs".into(),
-        agent: AgentId::new(0),
-        cores: vec![0, 1],
-        clos: ClosId::new(1),
-        workload: Box::new(ovs),
-        bindings: vec![
-            TrafficBinding {
-                port: 0,
-                gen: gen(LINE_RATE_40G, packet_bytes, dist(0), seed),
-            },
-            TrafficBinding {
-                port: 1,
-                gen: gen(LINE_RATE_40G, packet_bytes, dist(1), seed + 1),
-            },
-        ],
-    });
-    platform.add_tenant(Tenant {
-        id: TenantId(1),
-        name: "testpmd0".into(),
-        agent: AgentId::new(1),
-        cores: vec![2, 3],
-        clos: ClosId::new(2),
-        workload: Box::new(ChannelEcho::new(to0, from0)),
-        bindings: vec![],
-    });
-    platform.add_tenant(Tenant {
-        id: TenantId(2),
-        name: "testpmd1".into(),
-        agent: AgentId::new(2),
-        cores: vec![4, 5],
-        clos: ClosId::new(3),
-        workload: Box::new(ChannelEcho::new(to1, from1)),
-        bindings: vec![],
-    });
-
-    let infos = vec![
-        TenantInfo {
-            agent: AgentId::new(0),
-            clos: ClosId::new(1),
-            cores: vec![0, 1],
-            priority: Priority::Stack,
-            is_io: true,
-            initial_ways: 2,
-        },
-        TenantInfo {
-            agent: AgentId::new(1),
-            clos: ClosId::new(2),
-            cores: vec![2, 3],
-            priority: Priority::Pc,
-            is_io: true,
-            initial_ways: 1,
-        },
-        TenantInfo {
-            agent: AgentId::new(2),
-            clos: ClosId::new(3),
-            cores: vec![4, 5],
-            priority: Priority::Pc,
-            is_io: true,
-            initial_ways: 1,
-        },
-    ];
-
-    let ways = config.llc.ways();
-    let policy = make_policy(policy, ways, &config);
-    let managed = Managed::new(platform, policy, infos, 1_000_000_000);
     (
-        managed,
+        build(&params, seed).into_managed(),
         AggregationIds {
             ovs: TenantId(0),
             pmd: [TenantId(1), TenantId(2)],
@@ -252,44 +136,12 @@ pub fn l3fwd_slicing(
     rate_bps: u64,
     seed: u64,
 ) -> (Platform, TenantId) {
-    let config = PlatformConfig::xeon_6140();
-    let mut platform = Platform::new(config);
-    let mut alloc = AddrAlloc::new();
-    let pool = MBUF_POOL.max(ring_entries);
-    let mut nic = Nic::with_pool(NIC_BASE, 1, ring_entries, BUF_STRIDE, pool);
-    let table = HashRegion::new(alloc.alloc((1u64 << 20) * 64), 1 << 20, 1);
-    let fwd = L3Fwd::new(nic.vf_mut(VfId(0)).clone(), table);
-
-    platform
-        .rdt_mut()
-        .set_clos_mask(
-            ClosId::new(1),
-            iat_cachesim::WayMask::contiguous(0, 2).expect("mask"),
-        )
-        .expect("valid mask");
-    platform
-        .rdt_mut()
-        .associate_core(0, ClosId::new(1))
-        .expect("core exists");
-
-    platform.add_tenant(Tenant {
-        id: TenantId(0),
-        name: "l3fwd".into(),
-        agent: AgentId::new(0),
-        cores: vec![0],
-        clos: ClosId::new(1),
-        workload: Box::new(fwd),
-        bindings: vec![TrafficBinding {
-            port: 0,
-            gen: gen(
-                rate_bps,
-                packet_bytes,
-                FlowDist::Uniform { count: 1 << 20 },
-                seed,
-            ),
-        }],
-    });
-    (platform, TenantId(0))
+    let params = ScenarioParams::L3fwdSlicing {
+        ring_entries,
+        packet_bytes,
+        rate_bps,
+    };
+    (build(&params, seed).into_platform(), TenantId(0))
 }
 
 /// Builds the Fig. 4 setup: `l3fwd` at 40 Gb/s on ways {0,1} plus an X-Mem
@@ -300,57 +152,12 @@ pub fn latent_contender(
     packet_bytes: u32,
     seed: u64,
 ) -> (Platform, TenantId, TenantId) {
-    let config = PlatformConfig::xeon_6140();
-    let mut platform = Platform::new(config);
-    let mut alloc = AddrAlloc::new();
-    let mut nic = Nic::with_pool(NIC_BASE, 1, RING_ENTRIES, BUF_STRIDE, MBUF_POOL);
-    let table = HashRegion::new(alloc.alloc((1u64 << 20) * 64), 1 << 20, 1);
-    let fwd = L3Fwd::new(nic.vf_mut(VfId(0)).clone(), table);
-    let xmem = XMem::new(alloc.alloc(64 << 20), working_set, seed);
-
-    let rdt = platform.rdt_mut();
-    rdt.set_clos_mask(
-        ClosId::new(1),
-        iat_cachesim::WayMask::contiguous(0, 2).expect("mask"),
-    )
-    .expect("valid mask");
-    let xmem_ways = if ddio_overlap {
-        iat_cachesim::WayMask::contiguous(9, 2).expect("mask")
-    } else {
-        iat_cachesim::WayMask::contiguous(2, 2).expect("mask")
+    let params = ScenarioParams::LatentContender {
+        working_set,
+        ddio_overlap,
+        packet_bytes,
     };
-    rdt.set_clos_mask(ClosId::new(2), xmem_ways)
-        .expect("valid mask");
-    rdt.associate_core(0, ClosId::new(1)).expect("core exists");
-    rdt.associate_core(1, ClosId::new(2)).expect("core exists");
-
-    platform.add_tenant(Tenant {
-        id: TenantId(0),
-        name: "l3fwd".into(),
-        agent: AgentId::new(0),
-        cores: vec![0],
-        clos: ClosId::new(1),
-        workload: Box::new(fwd),
-        bindings: vec![TrafficBinding {
-            port: 0,
-            gen: gen(
-                LINE_RATE_40G,
-                packet_bytes,
-                FlowDist::Uniform { count: 1 << 20 },
-                seed,
-            ),
-        }],
-    });
-    platform.add_tenant(Tenant {
-        id: TenantId(1),
-        name: "x-mem".into(),
-        agent: AgentId::new(1),
-        cores: vec![1],
-        clos: ClosId::new(2),
-        workload: Box::new(xmem),
-        bindings: vec![],
-    });
-    (platform, TenantId(0), TenantId(1))
+    (build(&params, seed).into_platform(), TenantId(0), TenantId(1))
 }
 
 /// Tenant ids of the Fig. 10/11 slicing setup.
@@ -368,75 +175,12 @@ pub struct SlicingIds {
 /// 3 ways), two BE X-Mem containers and one PC X-Mem container (1 core,
 /// 2 ways each), all X-Mem at a 2 MB working set initially.
 pub fn slicing_pmd_xmem(packet_bytes: u32, policy: PolicyKind, seed: u64) -> (Managed, SlicingIds) {
-    let config = PlatformConfig::xeon_6140();
-    let mut platform = Platform::new(config);
-    let mut alloc = AddrAlloc::new();
-    let mut nic = Nic::with_pool(NIC_BASE, 2, RING_ENTRIES, BUF_STRIDE, MBUF_POOL);
-    let pmd = TestPmd::with_ports(vec![
-        nic.vf_mut(VfId(0)).clone(),
-        nic.vf_mut(VfId(1)).clone(),
-    ]);
-
-    platform.add_tenant(Tenant {
-        id: TenantId(0),
-        name: "testpmd-pair".into(),
-        agent: AgentId::new(0),
-        cores: vec![0, 1],
-        clos: ClosId::new(1),
-        workload: Box::new(pmd),
-        bindings: vec![
-            TrafficBinding {
-                port: 0,
-                gen: gen(
-                    LINE_RATE_40G,
-                    packet_bytes,
-                    FlowDist::Single(FlowId(0)),
-                    seed,
-                ),
-            },
-            TrafficBinding {
-                port: 1,
-                gen: gen(
-                    LINE_RATE_40G,
-                    packet_bytes,
-                    FlowDist::Single(FlowId(1)),
-                    seed + 1,
-                ),
-            },
-        ],
-    });
-    for (i, name) in [(1u16, "xmem-be2"), (2, "xmem-be3"), (3, "xmem-pc4")] {
-        platform.add_tenant(Tenant {
-            id: TenantId(i),
-            name: name.into(),
-            agent: AgentId::new(i),
-            cores: vec![1 + i as usize],
-            clos: ClosId::new((i + 1) as u8),
-            workload: Box::new(XMem::new(alloc.alloc(64 << 20), 2 << 20, seed + i as u64)),
-            bindings: vec![],
-        });
-    }
-
-    let info = |id: u16, cores: Vec<usize>, priority, is_io, ways| TenantInfo {
-        agent: AgentId::new(id),
-        clos: ClosId::new((id + 1) as u8),
-        cores,
-        priority,
-        is_io,
-        initial_ways: ways,
+    let params = ScenarioParams::SlicingPmdXmem {
+        packet_bytes,
+        policy,
     };
-    let infos = vec![
-        info(0, vec![0, 1], Priority::Pc, true, 3),
-        info(1, vec![2], Priority::Be, false, 2),
-        info(2, vec![3], Priority::Be, false, 2),
-        info(3, vec![4], Priority::Pc, false, 2),
-    ];
-
-    let ways = config.llc.ways();
-    let policy = make_policy(policy, ways, &config);
-    let managed = Managed::new(platform, policy, infos, 1_000_000_000);
     (
-        managed,
+        build(&params, seed).into_managed(),
         SlicingIds {
             pmd: TenantId(0),
             be: [TenantId(1), TenantId(2)],
@@ -489,269 +233,51 @@ pub fn app_scenario(
     policy: PolicyKind,
     seed: u64,
 ) -> (Managed, AppIds) {
-    let config = PlatformConfig::xeon_6140();
-    let mut platform = Platform::new(config);
-    let mut alloc = AddrAlloc::new();
-    let mut infos = Vec::new();
+    let params = ScenarioParams::AppCorun {
+        net,
+        pc,
+        mix,
+        with_be,
+        policy,
+    };
+    let managed = build(&params, seed).into_managed();
+
+    // Tenant ids follow declaration order (see the catalog entry).
     let mut ids = AppIds {
         net: [None; 3],
         pc: None,
         be: [None; 2],
     };
     let mut next_id = 0u16;
-    #[allow(unused_assignments)]
-    let mut next_core = 0usize;
-
-    let push_info = |infos: &mut Vec<TenantInfo>,
-                     id: u16,
-                     cores: Vec<usize>,
-                     priority: Priority,
-                     is_io: bool,
-                     ways: u8| {
-        infos.push(TenantInfo {
-            agent: AgentId::new(id),
-            clos: ClosId::new((id + 1) as u8),
-            cores,
-            priority,
-            is_io,
-            initial_ways: ways,
-        });
-    };
-
     match net {
         NetApp::Redis => {
-            let mut nic = Nic::with_pool(NIC_BASE, 2, RING_ENTRIES, BUF_STRIDE, MBUF_POOL);
-            let ports = vec![nic.vf_mut(VfId(0)).clone(), nic.vf_mut(VfId(1)).clone()];
-            let mk_chan = |platform: &mut Platform, alloc: &mut AddrAlloc| {
-                let base = alloc.alloc(RING_ENTRIES as u64 * (BUF_STRIDE + 64) + (1 << 20));
-                platform
-                    .channels_mut()
-                    .add(RxRing::new(base, RING_ENTRIES, BUF_STRIDE))
-            };
-            let to0 = mk_chan(&mut platform, &mut alloc);
-            let from0 = mk_chan(&mut platform, &mut alloc);
-            let to1 = mk_chan(&mut platform, &mut alloc);
-            let from1 = mk_chan(&mut platform, &mut alloc);
-            let emc = alloc.alloc(8192 * 64);
-            let mega = alloc.alloc((1u64 << 20) * 64);
-            let ovs = OvsSwitch::new(
-                ports,
-                vec![
-                    iat_workloads::Attachment {
-                        to_tenant: to0,
-                        from_tenant: from0,
-                    },
-                    iat_workloads::Attachment {
-                        to_tenant: to1,
-                        from_tenant: from1,
-                    },
-                ],
-                emc,
-                mega,
-                OvsConfig::default(),
-            );
-            // YCSB load: ~1.7 Mpps of 128 B requests per port, Zipfian keys.
-            let req_rate = iat_netsim::rate_for_pps(1.7e6, 128);
-            let kv_cfg = KvConfig {
-                records: 1_000_000,
-                value_bytes: 1024,
-                scan_len: 8,
-            };
-            let zipf = FlowDist::Zipf {
-                count: 1_000_000,
-                s: 0.99,
-            };
-
-            platform.add_tenant(Tenant {
-                id: TenantId(next_id),
-                name: "ovs".into(),
-                agent: AgentId::new(next_id),
-                cores: vec![0, 1],
-                clos: ClosId::new(next_id as u8 + 1),
-                workload: Box::new(ovs),
-                bindings: vec![
-                    TrafficBinding {
-                        port: 0,
-                        gen: gen(req_rate, 128, zipf.clone(), seed),
-                    },
-                    TrafficBinding {
-                        port: 1,
-                        gen: gen(req_rate, 128, zipf, seed + 1),
-                    },
-                ],
-            });
-            push_info(&mut infos, next_id, vec![0, 1], Priority::Stack, true, 1);
-            ids.net[0] = Some(TenantId(next_id));
-            next_id += 1;
-
-            for (i, (to, from)) in [(to0, from0), (to1, from1)].into_iter().enumerate() {
-                let base = alloc.alloc(2 << 30);
-                let kv = KvStore::new(to, from, base, kv_cfg, mix, seed + 10 + i as u64);
-                let cores = vec![2 + 2 * i, 3 + 2 * i];
-                platform.add_tenant(Tenant {
-                    id: TenantId(next_id),
-                    name: format!("redis{i}"),
-                    agent: AgentId::new(next_id),
-                    cores: cores.clone(),
-                    clos: ClosId::new(next_id as u8 + 1),
-                    workload: Box::new(kv),
-                    bindings: vec![],
-                });
-                push_info(&mut infos, next_id, cores, Priority::Pc, true, 1);
-                ids.net[1 + i] = Some(TenantId(next_id));
+            for slot in &mut ids.net {
+                *slot = Some(TenantId(next_id));
                 next_id += 1;
             }
-            next_core = 6;
         }
         NetApp::FastClick => {
-            let mut nic = Nic::with_pool(NIC_BASE, 4, RING_ENTRIES, BUF_STRIDE, MBUF_POOL);
-            let ports: Vec<_> = (0..4).map(|i| nic.vf_mut(VfId(i)).clone()).collect();
-            let state = alloc.alloc(512 << 20);
-            let chain = NfChain::with_ports(
-                ports,
-                state,
-                NfChainConfig {
-                    firewall_rules: 4096,
-                    stat_entries: 1 << 16,
-                    napt_entries: 1 << 16,
-                },
-            );
-            let bindings = (0..4)
-                .map(|p| TrafficBinding {
-                    port: p,
-                    gen: gen(
-                        20_000_000_000,
-                        1500,
-                        FlowDist::Uniform { count: 10_000 },
-                        seed + p as u64,
-                    ),
-                })
-                .collect();
-            platform.add_tenant(Tenant {
-                id: TenantId(next_id),
-                name: "fastclick".into(),
-                agent: AgentId::new(next_id),
-                cores: vec![0, 1, 2, 3],
-                clos: ClosId::new(next_id as u8 + 1),
-                workload: Box::new(chain),
-                bindings,
-            });
-            push_info(&mut infos, next_id, vec![0, 1, 2, 3], Priority::Pc, true, 3);
             ids.net[0] = Some(TenantId(next_id));
             next_id += 1;
-            next_core = 4;
         }
     }
-
-    match pc {
-        PcApp::Spec(profile) => {
-            let base = alloc.alloc(profile.footprint + (1 << 20));
-            platform.add_tenant(Tenant {
-                id: TenantId(next_id),
-                name: profile.name.into(),
-                agent: AgentId::new(next_id),
-                cores: vec![next_core],
-                clos: ClosId::new(next_id as u8 + 1),
-                workload: Box::new(SpecWorkload::new(base, profile, seed + 20)),
-                bindings: vec![],
-            });
-            push_info(&mut infos, next_id, vec![next_core], Priority::Pc, false, 2);
-            ids.pc = Some(TenantId(next_id));
-            next_id += 1;
-            next_core += 1;
-        }
-        PcApp::Rocks(rocks_mix) => {
-            let base = alloc.alloc(2 << 30);
-            let rocks = RocksLike::new(base, RocksConfig::default(), rocks_mix, seed + 21);
-            platform.add_tenant(Tenant {
-                id: TenantId(next_id),
-                name: "rocksdb".into(),
-                agent: AgentId::new(next_id),
-                cores: vec![next_core],
-                clos: ClosId::new(next_id as u8 + 1),
-                workload: Box::new(rocks),
-                bindings: vec![],
-            });
-            push_info(&mut infos, next_id, vec![next_core], Priority::Pc, false, 2);
-            ids.pc = Some(TenantId(next_id));
-            next_id += 1;
-            next_core += 1;
-        }
-        PcApp::None => {}
+    if !matches!(pc, PcApp::None) {
+        ids.pc = Some(TenantId(next_id));
+        next_id += 1;
     }
-
     if with_be {
-        for (i, ws) in [(0usize, 1u64 << 20), (1, 10 << 20)] {
-            let base = alloc.alloc(64 << 20);
-            platform.add_tenant(Tenant {
-                id: TenantId(next_id),
-                name: format!("xmem-be{i}"),
-                agent: AgentId::new(next_id),
-                cores: vec![next_core],
-                clos: ClosId::new(next_id as u8 + 1),
-                workload: Box::new(XMem::new(base, ws, seed + 30 + i as u64)),
-                bindings: vec![],
-            });
-            push_info(&mut infos, next_id, vec![next_core], Priority::Be, false, 2);
-            ids.be[i] = Some(TenantId(next_id));
+        for slot in &mut ids.be {
+            *slot = Some(TenantId(next_id));
             next_id += 1;
-            next_core += 1;
         }
     }
-
-    let ways = config.llc.ways();
-    let policy = make_policy(policy, ways, &config);
-    let managed = Managed::new(platform, policy, infos, 1_000_000_000);
     (managed, ids)
 }
 
 /// A solo run of just the PC workload (for Fig. 12/13 normalization).
 pub fn pc_solo(pc: PcApp, seed: u64) -> (Managed, TenantId) {
-    let config = PlatformConfig::xeon_6140();
-    let mut platform = Platform::new(config);
-    let mut alloc = AddrAlloc::new();
-    let (workload, name): (Box<dyn iat_workloads::Workload>, &str) = match pc {
-        PcApp::Spec(p) => (
-            Box::new(SpecWorkload::new(
-                alloc.alloc(p.footprint + (1 << 20)),
-                p,
-                seed,
-            )),
-            p.name,
-        ),
-        PcApp::Rocks(m) => (
-            Box::new(RocksLike::new(
-                alloc.alloc(2 << 30),
-                RocksConfig::default(),
-                m,
-                seed,
-            )),
-            "rocksdb",
-        ),
-        PcApp::None => panic!("pc_solo needs a PC workload"),
-    };
-    platform.add_tenant(Tenant {
-        id: TenantId(0),
-        name: name.into(),
-        agent: AgentId::new(0),
-        cores: vec![0],
-        clos: ClosId::new(1),
-        workload,
-        bindings: vec![],
-    });
-    let infos = vec![TenantInfo {
-        agent: AgentId::new(0),
-        clos: ClosId::new(1),
-        cores: vec![0],
-        priority: Priority::Pc,
-        is_io: false,
-        initial_ways: 2,
-    }];
-    let policy = make_policy(PolicyKind::Baseline(0), config.llc.ways(), &config);
-    (
-        Managed::new(platform, policy, infos, 1_000_000_000),
-        TenantId(0),
-    )
+    let params = ScenarioParams::PcSolo { pc };
+    (build(&params, seed).into_managed(), TenantId(0))
 }
 
 /// A measurement window over a managed run.

@@ -43,6 +43,16 @@ pub enum TrafficPattern {
         /// Burst period in nanoseconds.
         period_ns: u64,
     },
+    /// A smooth day/night cycle: the rate swings sinusoidally between
+    /// the nominal rate (peak, at phase 0) and `trough × nominal`
+    /// (half a period later). Models diurnal tenant traffic for the
+    /// generated scenario corpus.
+    Diurnal {
+        /// Rate multiplier at the bottom of the cycle, `[0, 1]`.
+        trough: f64,
+        /// Cycle period in nanoseconds.
+        period_ns: u64,
+    },
 }
 
 /// One epoch's worth of generated packets.
@@ -173,6 +183,11 @@ impl TrafficGen {
                     0.0
                 }
             }
+            TrafficPattern::Diurnal { trough, period_ns } => {
+                let phase = (self.elapsed_ns % period_ns) as f64 / period_ns as f64;
+                let day = 0.5 + 0.5 * (phase * 2.0 * std::f64::consts::PI).cos();
+                trough + (1.0 - trough) * day
+            }
         }
     }
 
@@ -295,6 +310,34 @@ mod tests {
         let off = g.generate(500_000).len();
         assert!(on > 0);
         assert!(off <= 1, "off-phase should be silent, got {off}");
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs() {
+        let mut g = TrafficGen::new(
+            10_000_000_000,
+            64,
+            FlowDist::Single(FlowId(0)),
+            TrafficPattern::Diurnal { trough: 0.2, period_ns: 1_000_000 },
+            3,
+        );
+        let peak = g.generate(100_000).len();
+        // Skip to the middle of the cycle (phase ~0.5 = night).
+        g.generate(400_000);
+        let night = g.generate(100_000).len();
+        assert!(peak > 0);
+        assert!(
+            (night as f64) < 0.4 * peak as f64,
+            "night rate should approach the trough: {night} vs peak {peak}"
+        );
+        // Mean over a whole number of cycles sits between trough and peak.
+        let mut total = 0usize;
+        for _ in 0..40 {
+            total += g.generate(100_000).len();
+        }
+        let nominal = g.pps() * 4.0 / 1e3; // 4 ms worth of packets
+        let mean_mult = total as f64 / nominal;
+        assert!(mean_mult > 0.4 && mean_mult < 0.8, "mean multiplier {mean_mult}");
     }
 
     #[test]

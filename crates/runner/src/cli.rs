@@ -13,6 +13,9 @@ pub struct Cli {
     pub check: bool,
     /// List jobs and exit.
     pub list: bool,
+    /// Run the generated scenario corpus with this many scenarios
+    /// instead of the figure registry (`--corpus N`).
+    pub corpus: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -42,7 +45,8 @@ repro — regenerate every figure/table capture under results/
 
 USAGE:
     repro [--jobs N] [--slice-workers N] [--only NAME]... [--sampled]
-          [--smoke] [--check] [--seed N] [--trace-out PATH] [--list]
+          [--smoke] [--check] [--seed N] [--corpus N] [--trace-out PATH]
+          [--list]
 
 OPTIONS:
     --jobs N     worker threads (default: min(cores, 8)); output is
@@ -66,6 +70,11 @@ OPTIONS:
                  instead of writing; exit 1 on divergence
     --seed N     root seed for per-job seed derivation (default 0 — the
                  committed captures' seed)
+    --corpus N   run N deterministic randomized scenarios (the generated
+                 corpus) instead of the figure registry; outputs go to
+                 results/corpus/ with a per-class summary artifact.
+                 Combine with --sampled and --seed; incompatible with
+                 --check/--smoke/--only
     --trace-out PATH
                  arm the span tracer and the decision flight recorder;
                  write a Chrome trace-event JSON (Perfetto-loadable) to
@@ -114,6 +123,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
                 cli.opts.root_seed = v
                     .parse::<u64>()
                     .map_err(|_| format!("bad --seed value {v:?}"))?;
+            }
+            "--corpus" => {
+                let v = it.next().ok_or("--corpus needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --corpus value {v:?}"))?;
+                if n == 0 {
+                    return Err("--corpus needs at least one scenario".into());
+                }
+                cli.corpus = Some(n);
             }
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out needs a path")?;
@@ -182,6 +201,16 @@ mod tests {
         );
         assert!(parse_args(Vec::new()).unwrap().opts.trace_out.is_none(), "off by default");
         assert!(parse_args(["--trace-out".to_owned()]).is_err(), "path required");
+    }
+
+    #[test]
+    fn parses_corpus() {
+        let cli = parse_args(["--corpus".to_owned(), "200".to_owned()]).unwrap();
+        assert_eq!(cli.corpus, Some(200));
+        assert!(parse_args(Vec::new()).unwrap().corpus.is_none(), "off by default");
+        assert!(parse_args(["--corpus".to_owned()]).is_err(), "count required");
+        assert!(parse_args(["--corpus".to_owned(), "0".to_owned()]).is_err(), "zero rejected");
+        assert!(parse_args(["--corpus".to_owned(), "many".to_owned()]).is_err());
     }
 
     #[test]

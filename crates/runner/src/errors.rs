@@ -1,0 +1,127 @@
+//! Typed errors for the harness's fallible load paths (CLI-adjacent
+//! file IO and JSON parsing), so callers can attach path context and
+//! decide per call site whether a failure is fatal or a warning —
+//! instead of `unwrap()`/silent-`ok()` at each site.
+
+use serde_json::Value;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why loading a JSON artifact from disk failed.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io {
+        /// Path that was being read.
+        path: PathBuf,
+        /// Underlying IO error.
+        source: std::io::Error,
+    },
+    /// The file was read but is not valid JSON.
+    Parse {
+        /// Path that was being parsed.
+        path: PathBuf,
+        /// Underlying parse error.
+        source: serde_json::Error,
+    },
+    /// The file parsed but violates the expected schema.
+    Schema {
+        /// Path whose contents were validated.
+        path: PathBuf,
+        /// What the validator rejected.
+        reason: String,
+    },
+}
+
+impl LoadError {
+    /// The path the failure is about.
+    pub fn path(&self) -> &Path {
+        match self {
+            LoadError::Io { path, .. }
+            | LoadError::Parse { path, .. }
+            | LoadError::Schema { path, .. } => path,
+        }
+    }
+
+    /// Whether the failure is simply "the file does not exist" — the
+    /// one IO error optional loads (history, expected costs) treat as
+    /// a clean absence rather than corruption worth warning about.
+    pub fn is_not_found(&self) -> bool {
+        matches!(
+            self,
+            LoadError::Io { source, .. }
+                if source.kind() == std::io::ErrorKind::NotFound
+        )
+    }
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io { path, source } => {
+                write!(f, "reading {}: {source}", path.display())
+            }
+            LoadError::Parse { path, source } => {
+                write!(f, "parsing {}: {source}", path.display())
+            }
+            LoadError::Schema { path, reason } => {
+                write!(f, "validating {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io { source, .. } => Some(source),
+            LoadError::Parse { source, .. } => Some(source),
+            LoadError::Schema { .. } => None,
+        }
+    }
+}
+
+/// Reads and parses one JSON document, attaching the path to whichever
+/// step failed.
+///
+/// # Errors
+///
+/// [`LoadError::Io`] when the file cannot be read, [`LoadError::Parse`]
+/// when its contents are not valid JSON.
+pub fn load_json(path: &Path) -> Result<Value, LoadError> {
+    let text = std::fs::read_to_string(path).map_err(|source| LoadError::Io {
+        path: path.to_owned(),
+        source,
+    })?;
+    serde_json::from_str(&text).map_err(|source| LoadError::Parse {
+        path: path.to_owned(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_json_distinguishes_failure_modes() {
+        let dir = std::env::temp_dir().join("iat-runner-errors-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let missing = dir.join("missing.json");
+        let err = load_json(&missing).unwrap_err();
+        assert!(err.is_not_found(), "missing file is NotFound: {err}");
+        assert_eq!(err.path(), missing.as_path());
+
+        let corrupt = dir.join("corrupt.json");
+        std::fs::write(&corrupt, b"{ not json").unwrap();
+        let err = load_json(&corrupt).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { .. }), "got {err:?}");
+        assert!(!err.is_not_found());
+        assert!(err.to_string().contains("corrupt.json"));
+
+        let good = dir.join("good.json");
+        std::fs::write(&good, b"{\"a\": 1}\n").unwrap();
+        assert_eq!(load_json(&good).unwrap()["a"], 1);
+    }
+}

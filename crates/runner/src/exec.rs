@@ -189,6 +189,39 @@ fn select(reg: &Registry, opts: &RunOptions) -> Vec<bool> {
     include
 }
 
+/// Returns the `--only` filters that match neither a job group nor a
+/// job name in the registry. `select` silently produces an empty
+/// selection for such filters, so callers must reject them up front
+/// (listing [`Registry::groups`] / [`Registry::names`] as the valid
+/// vocabulary) instead of "succeeding" having run nothing.
+pub fn unknown_filters(reg: &Registry, only: &[String]) -> Vec<String> {
+    only.iter()
+        .filter(|o| {
+            !reg.jobs
+                .iter()
+                .any(|j| *o == &j.group || *o == &j.name)
+        })
+        .cloned()
+        .collect()
+}
+
+/// Clears run-scoped staging directories (`results/sampled`,
+/// `results/decisions`, `results/corpus`, …) by removing and recreating
+/// each `base/<sub>` that exists, so artifacts from a previous run with
+/// different flags can never be mistaken for this run's output. Never
+/// touches `base` itself or anything outside the named subdirectories.
+pub fn reset_staging_dirs(base: &Path, subdirs: &[&str]) -> std::io::Result<()> {
+    for sub in subdirs {
+        let dir = base.join(sub);
+        match std::fs::remove_dir_all(&dir) {
+            Ok(()) => progress(&format!("cleared stale {}", dir.display())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Executes the registry's selected jobs and returns the collected
 /// output. Files are staged, not written — pass the output to
 /// [`write_outputs`] or [`check_outputs`].

@@ -30,6 +30,7 @@
 
 pub mod bench_report;
 mod cli;
+mod errors;
 mod exec;
 mod job;
 pub mod seed;
@@ -40,9 +41,11 @@ pub use bench_report::{
     BENCH_SCHEMA, HISTORY_SCHEMA, TRAJECTORY_SCHEMA,
 };
 pub use cli::{default_jobs, parse_args, Cli, USAGE};
+pub use errors::{load_json, LoadError};
 pub use exec::{
-    check_outputs, print_summary, progress, run, write_outputs, JobReport, Outcome, RunOptions,
-    RunOutput, ACCESSES_COUNTER, SKIPPED_EPOCHS_COUNTER,
+    check_outputs, print_summary, progress, reset_staging_dirs, run, unknown_filters,
+    write_outputs, JobReport, Outcome, RunOptions, RunOutput, ACCESSES_COUNTER,
+    SKIPPED_EPOCHS_COUNTER,
 };
 pub use job::{JobCtx, JobFn, JobSpec, Registry};
 pub use seed::derive_seed;

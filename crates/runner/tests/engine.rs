@@ -185,3 +185,38 @@ fn forward_deps_are_rejected() {
     let mut reg = Registry::new();
     reg.add(JobSpec::new("late", "g", |_| Ok(Value::Null)).deps(&["not-yet"]));
 }
+
+#[test]
+fn unknown_filters_flags_names_matching_nothing() {
+    let reg = diamond();
+    let only = vec![
+        "d".to_owned(),        // group (and merge-job name)
+        "d/left".to_owned(),   // job name
+        "fig99".to_owned(),    // matches nothing
+        "d/middle".to_owned(), // matches nothing
+    ];
+    assert_eq!(
+        iat_runner::unknown_filters(&reg, &only),
+        vec!["fig99".to_owned(), "d/middle".to_owned()]
+    );
+    assert!(iat_runner::unknown_filters(&reg, &[]).is_empty());
+}
+
+#[test]
+fn reset_staging_dirs_clears_only_the_named_subdirs() {
+    let base = std::env::temp_dir().join("iat-runner-reset-test");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(base.join("sampled/nested")).unwrap();
+    std::fs::create_dir_all(base.join("keep")).unwrap();
+    std::fs::write(base.join("sampled/stale.json"), b"{}").unwrap();
+    std::fs::write(base.join("keep/capture.json"), b"{}").unwrap();
+    std::fs::write(base.join("toplevel.json"), b"{}").unwrap();
+
+    // "corpus" does not exist — absence must not be an error.
+    iat_runner::reset_staging_dirs(&base, &["sampled", "corpus"]).unwrap();
+
+    assert!(!base.join("sampled").exists(), "stale staging dir survives");
+    assert!(base.join("keep/capture.json").exists(), "unrelated dir clobbered");
+    assert!(base.join("toplevel.json").exists(), "base contents clobbered");
+    std::fs::remove_dir_all(&base).ok();
+}
