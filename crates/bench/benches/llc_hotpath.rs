@@ -15,8 +15,13 @@
 //!   multi-worker scaling against the serial calls above (results are
 //!   bit-identical either way).
 //! * `warmup_window/frozen_1w` — the same batched window with
-//!   statistics frozen: the functional-warmup (tag-only) configuration
-//!   sampled runs use between fast-forward and measured segments.
+//!   statistics frozen but the frozen fast body disabled: the full
+//!   per-access pipeline running against a frozen sink.
+//! * `warmup_window/warm_frozen_fast` — the default frozen-stats
+//!   configuration: the shard dispatches the delta-free fast body, which
+//!   skips outcome recording, occupancy deltas, and stat merging
+//!   entirely. The gap against `frozen_1w` is what the fast body buys
+//!   every warm epoch.
 //!
 //! Run with `cargo bench -p iat-bench --bench llc_hotpath`; CI runs
 //! `cargo bench -p iat-bench --bench llc_hotpath -- --test` as a smoke.
@@ -108,28 +113,34 @@ fn bench_hotpath(c: &mut Criterion) {
 
     // The same miss-heavy window with statistics frozen — the
     // functional-warmup configuration the sampled execution path runs
-    // between fast-forward and measured segments (tag/recency/owner
-    // updates only; outcome, occupancy and memory accounting skipped at
-    // merge). Comparing against `batched_window/1w` shows what a warm
-    // epoch costs relative to a measured one.
-    group.bench_function("warmup_window/frozen_1w", |b| {
-        iat_cachesim::config::set_slice_workers(Some(1));
-        let geom = CacheGeometry::xeon_6140_llc();
-        let mut llc = Llc::new(geom);
-        llc.set_stats_frozen(true);
-        let agent = AgentId::new(0);
-        let mask = WayMask::contiguous(0, 2).expect("mask");
-        let span = geom.total_lines() * 8;
-        let mut i = 0u64;
-        b.iter(|| {
-            for _ in 0..WINDOW {
-                i = (i + 1) % span;
-                llc.batch_core_access(agent, mask, i * LINE, CoreOp::Read);
-            }
-            llc.batch_flush();
-            black_box(llc.valid_lines())
+    // between fast-forward and measured segments. `frozen_1w` pins the
+    // fast body *off* (the pre-fast-path baseline: full per-access
+    // pipeline against a frozen sink); `warm_frozen_fast` is the default
+    // configuration, where the shard runs the delta-free fast body.
+    // Cache state is bit-identical either way (pinned by the
+    // `frozen_fast_body_matches_full_body` proptest); only the work per
+    // access differs.
+    for (name, fast) in [("frozen_1w", false), ("warm_frozen_fast", true)] {
+        group.bench_function(format!("warmup_window/{name}"), |b| {
+            iat_cachesim::config::set_slice_workers(Some(1));
+            let geom = CacheGeometry::xeon_6140_llc();
+            let mut llc = Llc::new(geom);
+            llc.set_stats_frozen(true);
+            llc.set_frozen_fast(fast);
+            let agent = AgentId::new(0);
+            let mask = WayMask::contiguous(0, 2).expect("mask");
+            let span = geom.total_lines() * 8;
+            let mut i = 0u64;
+            b.iter(|| {
+                for _ in 0..WINDOW {
+                    i = (i + 1) % span;
+                    llc.batch_core_access(agent, mask, i * LINE, CoreOp::Read);
+                }
+                llc.batch_flush();
+                black_box(llc.valid_lines())
+            });
         });
-    });
+    }
     iat_cachesim::config::set_slice_workers(None);
     group.finish();
 }

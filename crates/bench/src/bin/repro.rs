@@ -298,6 +298,17 @@ fn main() {
                 exit = 1;
             }
         }
+        // Convergence checkpoints must actually engage on a full sampled
+        // sweep: policy-variant figures (fig10) restore their siblings'
+        // converged cold-start state instead of re-simulating it. Zero
+        // restores means the fingerprinting regressed and every variant
+        // silently paid the full warmup again — the error bounds above
+        // would still pass, so assert the mechanism separately.
+        let (restores, _computes) = iat_runner::checkpoint::counters();
+        if cli.opts.only.is_empty() && !cli.opts.smoke && restores == 0 {
+            progress("error: full sampled sweep restored no convergence checkpoints");
+            exit = 1;
+        }
     }
 
     // The wall-clock bench report. Written on every run — including

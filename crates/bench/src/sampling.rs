@@ -63,8 +63,8 @@ pub fn spec_for(figure: &str) -> Option<SamplingSpec> {
     Some(match figure {
         // fig04 measures MOPS right after a 300-epoch cache fill; the
         // fill transient must run functionally or dedicated-ways MOPS
-        // reads a half-empty cache.
-        "fig04" => SamplingSpec { cold_start_epochs: 150, ..standard },
+        // reads a half-empty cache (100 warms to 0.8%, 150 to 0.4%).
+        "fig04" => SamplingSpec { cold_start_epochs: 100, ..standard },
         // Steady-state forwarding rates: the cheapest plan is already
         // inside the bound.
         "fig08" | "fig09" => SamplingSpec {
@@ -75,21 +75,68 @@ pub fn spec_for(figure: &str) -> Option<SamplingSpec> {
         },
         // Working-set growth mid-run plus a manual DDIO resize; both
         // re-arm forced warmup, and the re-convergence spans must be
-        // long enough to refill a 10 MB working set.
+        // long enough to refill a 10 MB working set. The flat phase
+        // budget has a real cliff: 240 measures 0.3% off, 180 already
+        // 1.7%, 120 a failing 4.1% — the 10 MB refill needs the full
+        // span, so only the DDIO-resize capacity event is scaled.
         "fig10" => SamplingSpec { cold_start_epochs: 60, reconverge_epochs: 240, ..standard },
         // Long multi-scenario sweeps whose headline is a ratio of
-        // steady-state rates; rotations do not change capacity so the
-        // default re-convergence only fires on IAT way grants.
-        "fig12" | "fig13" => SamplingSpec { reconverge_epochs: 30, ..standard },
-        "fig14" => SamplingSpec {
+        // steady-state rates over many short (7-interval) policy arms.
+        // Deliberately NO cold-start fast-forward here: every arm pays
+        // the same early-interval bias and the solo/co-run ratio
+        // cancels it, while a converged start would cost more warm
+        // epochs than the boost schedule it replaces (a warm epoch is
+        // ~0.9x a measured one) and broke the cancellation when tried
+        // (9.0%/7.6% errors). fig12 keeps the standard boost plan —
+        // its baseline-max degradation signal (DDIO-overlap contention)
+        // vanishes under a leaner plan (4/12 boost read 3.9% low and
+        // stable-measure 4 read 3.6% low, both converging toward 1.0).
+        // The measured share is load-bearing too: the contention shows
+        // up as bursty ring-overflow episodes, and short measured
+        // windows miss them (boost-measure 16 read 3.2% low). The
+        // novelty floor pins *phase* re-arms at the flat budget —
+        // distance-scaled cuts there also read 3.1% low — while the
+        // baseline-rotation capacity events keep the pure magnitude
+        // scaling (a 2-of-11-way rotation owes a sliver; flooring those
+        // too costs ~3 s without helping the headline).
+        "fig12" => SamplingSpec {
+            reconverge_epochs: 27,
+            novel_floor_epochs: 27,
+            ..standard
+        },
+        // fig13's RocksDB latency ratios are the smoothest signal in
+        // the suite: they tolerate the fig08-style lean boost window
+        // and a skeletal stable plan (1% warm / 3% measured) while
+        // staying under 0.4% error.
+        "fig13" => SamplingSpec {
+            stable_warm_pct: 1,
+            stable_measure_pct: 3,
             boost_warm_pct: 4,
             boost_measure_pct: 12,
-            reconverge_epochs: 30,
+            reconverge_epochs: 10,
+            ..standard
+        },
+        "fig14" => SamplingSpec {
+            stable_measure_pct: 4,
+            boost_warm_pct: 4,
+            boost_measure_pct: 10,
+            reconverge_epochs: 15,
             ..standard
         },
         // Discrete convergence counts plus a converged-MOPS headline
-        // that only makes sense once granted ways have refilled.
-        "ablation" => SamplingSpec { reconverge_epochs: 200, ..conservative },
+        // that only makes sense once granted ways have refilled. The
+        // magnitude scaling is pinned to the flat rate here: the
+        // policy grants one way per iteration, but pc4's converged
+        // MOPS is only meaningful after a full working-set refill —
+        // a scaled ~ceil(200/11) budget measures mid-refill and reads
+        // ~33% low (the tuning run that motivated the floor field).
+        "ablation" => SamplingSpec {
+            stable_measure_pct: 8,
+            boost_measure_pct: 18,
+            reconverge_epochs: 200,
+            capacity_floor_epochs: 200,
+            ..conservative
+        },
         _ => unreachable!("sampled_figure gated"),
     })
 }

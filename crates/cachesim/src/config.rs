@@ -142,6 +142,8 @@ impl SamplingLevel {
                 boost_measure_pct: 22,
                 cold_start_epochs: 0,
                 reconverge_epochs: 60,
+                capacity_floor_epochs: 0,
+                novel_floor_epochs: 0,
             },
             SamplingLevel::Conservative => SamplingSpec {
                 level: self,
@@ -151,6 +153,8 @@ impl SamplingLevel {
                 boost_measure_pct: 25,
                 cold_start_epochs: 150,
                 reconverge_epochs: 120,
+                capacity_floor_epochs: 0,
+                novel_floor_epochs: 0,
             },
         }
     }
@@ -185,6 +189,23 @@ pub struct SamplingSpec {
     /// Forced functional-warmup epochs after a capacity event or novel
     /// phase.
     pub reconverge_epochs: u16,
+    /// Floor under the magnitude-scaled capacity-event budget. The
+    /// scaled budget (`ceil(reconverge_epochs × ways moved / total
+    /// ways)`) models refill cost as proportional to the moved
+    /// capacity; workloads whose refill time is set by the *working
+    /// set* rather than the moved ways — a single granted way still
+    /// takes a full working-set pass to become representative — pin a
+    /// floor here. Capped at `reconverge_epochs`; zero (the presets'
+    /// default) trusts the scaling.
+    pub capacity_floor_epochs: u16,
+    /// Floor under the novelty-scaled phase-transition budget
+    /// (`ceil(reconverge_epochs × distance / 1000)`). Independent of
+    /// the capacity floor because the two triggers mis-scale on
+    /// different workloads: a barely-over-threshold phase can still
+    /// carry a full working-set turnover, while a one-way capacity
+    /// grant on the same figure really does owe only a sliver. Capped
+    /// at `reconverge_epochs`; zero trusts the scaling.
+    pub novel_floor_epochs: u16,
 }
 
 std::thread_local! {

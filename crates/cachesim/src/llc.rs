@@ -108,6 +108,10 @@ pub struct Llc {
     /// owners, dirty bits, valid lines) exactly as normal but accrue no
     /// statistics or memory counters. See [`Llc::set_stats_frozen`].
     stats_frozen: bool,
+    /// Whether frozen batch flushes take the delta-free fast body
+    /// (default). Disabled only by benchmarks that want to measure the
+    /// old frozen body for comparison; see [`Llc::set_frozen_fast`].
+    frozen_fast: bool,
 }
 
 impl Llc {
@@ -127,6 +131,7 @@ impl Llc {
             pending_ops: 0,
             flushed: true,
             stats_frozen: false,
+            frozen_fast: true,
         }
     }
 
@@ -156,6 +161,15 @@ impl Llc {
     /// Whether statistic accrual is currently frozen.
     pub fn stats_frozen(&self) -> bool {
         self.stats_frozen
+    }
+
+    /// Selects the body frozen batch flushes use. `true` (the default)
+    /// takes the shard's delta-free `process_frozen` fast body; `false`
+    /// keeps the full delta-accruing body whose sums the frozen merge then
+    /// discards. Both evolve the cache bit-identically — the knob exists so
+    /// the `llc_hotpath` bench can measure them against each other.
+    pub fn set_frozen_fast(&mut self, fast: bool) {
+        self.frozen_fast = fast;
     }
 
     /// The cache's geometry.
@@ -510,6 +524,9 @@ impl Llc {
         let t0 = timed.then(std::time::Instant::now);
         let tracer = (timed && span::global_enabled()).then(span::global);
         let workers = config::flush_workers();
+        // Warmup flushes take the frozen fast body: same functional state
+        // transitions (generic over the sink), no per-agent delta accrual.
+        let frozen = self.stats_frozen && self.frozen_fast;
         if workers > 1 && self.pending_ops >= PAR_MIN_OPS {
             let lanes = workers.min(self.shards.len());
             let ops = self.pending_ops;
@@ -535,7 +552,11 @@ impl Llc {
                             let w0 = tracer.as_ref().map(|_| std::time::Instant::now());
                             let lane_ops: usize = part.iter().map(|sh| sh.queue.len()).sum();
                             for shard in part {
-                                shard.process();
+                                if frozen {
+                                    shard.process_frozen();
+                                } else {
+                                    shard.process();
+                                }
                             }
                             if let (Some(t), Some(w0)) = (&tracer, w0) {
                                 t.record(
@@ -550,13 +571,21 @@ impl Llc {
                     }
                 }
                 for shard in mine {
-                    shard.process();
+                    if frozen {
+                        shard.process_frozen();
+                    } else {
+                        shard.process();
+                    }
                 }
             });
         } else {
             for shard in &mut self.shards {
                 if !shard.queue.is_empty() {
-                    shard.process();
+                    if frozen {
+                        shard.process_frozen();
+                    } else {
+                        shard.process();
+                    }
                 }
             }
         }

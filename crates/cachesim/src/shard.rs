@@ -623,4 +623,43 @@ impl SliceShard {
         }
         self.queue = q;
     }
+
+    /// [`SliceShard::process`] with the warmup sink: resolves every queued
+    /// operation updating only tags, owners, dirty bits and recency (plus
+    /// the valid-line count, a property of the contents), dropping every
+    /// per-agent statistic event. Accumulates new valid lines into
+    /// `self.delta.lines_added` — the one field the frozen merge consumes —
+    /// so the owning `Llc`'s frozen [`merge_deltas`](crate::Llc) path works
+    /// unchanged. Because [`SetStore`]'s operations are generic over the
+    /// sink, the functional state transitions are the same machine code as
+    /// the full body's: the warm→measure boundary state is bit-identical
+    /// by construction (and guarded by the `frozen_fast_*` proptests).
+    pub fn process_frozen(&mut self) {
+        let mut q = std::mem::take(&mut self.queue);
+        for i in 0..q.len() {
+            if let Some(next) = q.get(i + RESOLVE_PREFETCH_DIST) {
+                self.store.prefetch_set(next.set as usize);
+            }
+            let e = &mut q[i];
+            let set = e.set as usize;
+            let mut sink = FrozenSink { valid_count: &mut self.delta.lines_added };
+            e.hit = match e.kind {
+                BatchKind::CoreRead => {
+                    self.store.core_access(set, e.agent, e.mask, e.tag, false, e.op, &mut sink).0
+                }
+                BatchKind::CoreWrite => {
+                    self.store.core_access(set, e.agent, e.mask, e.tag, true, e.op, &mut sink).0
+                }
+                BatchKind::Writeback => {
+                    self.store.core_writeback(set, e.agent, e.mask, e.tag, e.op, &mut sink);
+                    true
+                }
+                BatchKind::IoWrite => {
+                    self.store.io_write(set, e.mask, e.tag, e.op, &mut sink).0
+                }
+                BatchKind::IoRead => self.store.io_read(set, e.tag, &mut sink),
+            };
+        }
+        self.queue = q;
+    }
 }

@@ -427,6 +427,88 @@ proptest! {
         iat_cachesim::config::set_slice_workers(None);
     }
 
+    /// With statistics frozen, the delta-free fast body (`frozen_fast`,
+    /// the default) leaves the cache bit-identical to the full body
+    /// dispatched against a frozen sink: the same tags, owners, dirty
+    /// bits and recency (via the state digest) at every flush boundary,
+    /// the same per-op hit resolution, and — because warm windows leave
+    /// no statistical residue either way — identical statistics after
+    /// the interleaved measured windows. The stream alternates frozen
+    /// (warm) and unfrozen (measured) windows so every warm→measure
+    /// hand-off the sampled execution path performs is exercised.
+    #[test]
+    fn frozen_fast_body_matches_full_body(
+        ops in proptest::collection::vec(op_strategy(8), 2..400),
+        window in 1usize..100,
+    ) {
+        let geom = CacheGeometry::new(8, 16, 4).expect("valid geometry");
+        let ddio = WayMask::contiguous(6, 2).unwrap();
+        for workers in [1u32, 4] {
+            iat_cachesim::config::set_slice_workers(Some(workers));
+            let run = |fast: bool| {
+                let mut llc = Llc::new(geom);
+                llc.set_frozen_fast(fast);
+                llc.set_stats_frozen(true);
+                let mut frozen = true;
+                let mut hits = Vec::new();
+                let mut digests = Vec::new();
+                let mut handles: Vec<BatchHandle> = Vec::new();
+                for (k, op) in ops.iter().enumerate() {
+                    match *op {
+                        Op::Core { agent, mask_first, mask_count, addr, write } => {
+                            if let Some(mask) = clamp_mask(geom.ways(), mask_first, mask_count) {
+                                let op = if write { CoreOp::Write } else { CoreOp::Read };
+                                handles.push(
+                                    llc.batch_core_access(AgentId::new(agent), mask, addr, op),
+                                );
+                            }
+                        }
+                        Op::Writeback { agent, mask_first, mask_count, addr } => {
+                            if let Some(mask) = clamp_mask(geom.ways(), mask_first, mask_count) {
+                                llc.batch_core_writeback(AgentId::new(agent), mask, addr);
+                            }
+                        }
+                        Op::IoWrite { addr } => llc.batch_io_write(ddio, addr),
+                        Op::IoRead { addr } => llc.batch_io_read(addr),
+                    }
+                    if (k + 1) % window == 0 {
+                        llc.batch_flush();
+                        hits.extend(handles.drain(..).map(|h| llc.batch_hit(h)));
+                        digests.push((llc.state_digest(), llc.valid_lines()));
+                        // Window boundary: alternate warm and measured,
+                        // recounting occupancy on the warm -> measure
+                        // hand-off exactly as the platform does (it goes
+                        // stale across frozen spans by design).
+                        frozen = !frozen;
+                        llc.set_stats_frozen(frozen);
+                        if !frozen {
+                            llc.repair_occupancy();
+                        }
+                    }
+                }
+                llc.batch_flush();
+                hits.extend(handles.drain(..).map(|h| llc.batch_hit(h)));
+                digests.push((llc.state_digest(), llc.valid_lines()));
+                let agents: Vec<_> = llc.stats().agents().map(|(id, s)| (id, *s)).collect();
+                let counters = (
+                    llc.stats().evictions,
+                    llc.stats().ddio_hits(),
+                    llc.stats().ddio_misses(),
+                    llc.mem().read_lines(),
+                    llc.mem().write_lines(),
+                );
+                (hits, digests, agents, counters)
+            };
+            let fast = run(true);
+            let full = run(false);
+            prop_assert_eq!(&fast.0, &full.0, "hit resolution, workers={}", workers);
+            prop_assert_eq!(&fast.1, &full.1, "state digests, workers={}", workers);
+            prop_assert_eq!(&fast.2, &full.2, "agent stats, workers={}", workers);
+            prop_assert_eq!(fast.3, full.3, "counters, workers={}", workers);
+        }
+        iat_cachesim::config::set_slice_workers(None);
+    }
+
     /// Memory counters are monotonic over any operation sequence.
     #[test]
     fn memory_counters_monotonic(ops in proptest::collection::vec(op_strategy(4), 1..100)) {

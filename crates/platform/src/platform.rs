@@ -106,6 +106,10 @@ pub struct Platform {
     /// means ways were granted/revoked or DDIO was resized, so cache
     /// contents must re-converge before the next measured window.
     last_capacity_gen: u64,
+    /// [`Rdt::moved_ways`] at the last capacity-baseline sync; the delta
+    /// across a capacity event is how many ways changed hands, which
+    /// scales the re-convergence budget.
+    moved_base: u64,
     /// Whether any epoch has executed: capacity-mask programming during
     /// scenario *setup* is part of the initial state (covered by
     /// `cold_start_epochs`), not a mid-run capacity event.
@@ -173,6 +177,7 @@ impl Platform {
             sampler,
             occupancy_stale: false,
             last_capacity_gen: 0,
+            moved_base: 0,
             epochs_started: false,
             tracer: span::global(),
             seg: None,
@@ -367,8 +372,16 @@ impl Platform {
             let gen = self.rdt.capacity_gen();
             if gen != self.last_capacity_gen {
                 self.last_capacity_gen = gen;
+                let moved = self.rdt.moved_ways().saturating_sub(self.moved_base);
+                self.moved_base = self.rdt.moved_ways();
                 if self.epochs_started {
-                    self.sampler.as_mut().expect("checked").force_reconverge();
+                    // Re-converge in proportion to the event: moving 2 of
+                    // 11 ways invalidates ~2/11 of the residency, not all
+                    // of it. The flat budget remains the ceiling.
+                    self.sampler
+                        .as_mut()
+                        .expect("checked")
+                        .force_reconverge_scaled(moved, self.rdt.ways() as u64);
                 }
             }
             self.epochs_started = true;
@@ -401,12 +414,7 @@ impl Platform {
             }
             EpochAction::Warm => {
                 let t0 = Instant::now();
-                self.hierarchy.set_stats_frozen(true);
-                phase::set_observing(true);
-                self.exec_epoch(false);
-                phase::set_observing(false);
-                self.hierarchy.set_stats_frozen(false);
-                self.occupancy_stale = true;
+                self.warm_epoch_body();
                 phases::phase_add(Phase::Warmup, t0.elapsed().as_nanos() as u64);
                 EpochReport { time_ns: self.time_ns, ..EpochReport::default() }
             }
@@ -450,6 +458,76 @@ impl Platform {
             }
         }
         report
+    }
+
+    /// One functional-warmup epoch: full execution with statistics frozen
+    /// and no modelled-time advance. Shared by the in-schedule warm arm
+    /// and the cold-start fast-forward.
+    fn warm_epoch_body(&mut self) {
+        self.hierarchy.set_stats_frozen(true);
+        phase::set_observing(true);
+        self.exec_epoch(false);
+        phase::set_observing(false);
+        self.hierarchy.set_stats_frozen(false);
+        self.occupancy_stale = true;
+    }
+
+    /// Re-baselines capacity-event tracking to the register file's current
+    /// state, so mask writes made so far read as initial state rather than
+    /// mid-run capacity events.
+    fn sync_capacity_baseline(&mut self) {
+        self.last_capacity_gen = self.rdt.capacity_gen();
+        self.moved_base = self.rdt.moved_ways();
+    }
+
+    /// Runs the owed cold-start warmup *now*, outside the interval
+    /// schedule: while the sampler owes forced-warm epochs
+    /// (`cold_start_epochs` at construction), each runs as a functional
+    /// warm epoch body back to back. Afterwards the interval schedule
+    /// starts in the converged regime — skip positions genuinely skip
+    /// instead of paying warm debt across the early intervals — and the
+    /// hierarchy holds exactly the converged state a checkpoint should
+    /// snapshot. Time is tallied under `Phase::FastWarm`. No-op in exact
+    /// mode or when nothing is owed.
+    pub fn fast_forward_cold_start(&mut self) {
+        let owed = match self.sampler.as_mut() {
+            Some(s) => s.take_forced_warm(),
+            None => return,
+        };
+        if owed > 0 {
+            let t0 = Instant::now();
+            let tracer = self.tracer.clone();
+            let _span = tracer.enabled().then(|| tracer.begin("epoch", "fast_warm"));
+            for _ in 0..owed {
+                self.warm_epoch_body();
+            }
+            phases::phase_add(Phase::FastWarm, t0.elapsed().as_nanos() as u64);
+            if let Some(s) = &mut self.sampler {
+                s.assume_stable();
+            }
+        }
+        self.sync_capacity_baseline();
+    }
+
+    /// Replaces the memory hierarchy with a convergence-checkpoint
+    /// snapshot (taken by a sibling scenario after its cold-start
+    /// fast-forward) and re-arms `warm_epochs` of forced warmup — the
+    /// caller scales that debt by how far the snapshot's RDT layout is
+    /// from this scenario's (zero when only way *positions* differ,
+    /// mirroring [`Rdt::capacity_gen`]'s doctrine that relocations migrate
+    /// lines gradually). Occupancy is marked stale so the first measured
+    /// epoch recounts it from the restored contents. Time is tallied
+    /// under `Phase::Restore`.
+    pub fn restore_checkpoint(&mut self, snapshot: &MemoryHierarchy, warm_epochs: u64) {
+        let t0 = Instant::now();
+        self.hierarchy = snapshot.clone();
+        if let Some(s) = &mut self.sampler {
+            s.set_forced_warm(warm_epochs);
+            s.assume_stable();
+        }
+        self.occupancy_stale = true;
+        self.sync_capacity_baseline();
+        phases::phase_add(Phase::Restore, t0.elapsed().as_nanos() as u64);
     }
 
     /// The epoch body: runs in [`PlatformConfig::chunks`] sub-slices, each

@@ -19,7 +19,7 @@
 //! identical across `--slice-workers` settings and window-flush
 //! placements.
 
-use iat_cachesim::config::SamplingSpec;
+use iat_cachesim::config::{SamplingLevel, SamplingSpec};
 use iat_workloads::phase::{self, PhaseBoundary, PhaseProfiler, PlanHint};
 
 /// What the platform should do with the next epoch.
@@ -87,6 +87,13 @@ pub(crate) struct Sampler {
     /// interval's measured segment.
     refs_base: u64,
     miss_base: u64,
+    /// Intervals whose profiler hint is overridden to `Stable` after a
+    /// converged start (cold-start fast-forward or checkpoint restore):
+    /// the cache already holds the steady state, so the fresh profiler's
+    /// obligatory not-yet-stable `Boost` windows would re-pay warmup the
+    /// fast-forward already did. Genuine phase changes stay safe — the
+    /// novel-phase forced-warm re-arm fires independently of the hint.
+    assume_stable: u32,
 }
 
 impl Sampler {
@@ -107,19 +114,97 @@ impl Sampler {
             skipped: 0,
             refs_base: 0,
             miss_base: 0,
+            assume_stable: 0,
         }
+    }
+
+    /// Declares the simulation converged at schedule start: the current
+    /// interval switches to the stable plan and the next interval's
+    /// profiler hint is overridden to `Stable` (the profiler needs two
+    /// same-phase sightings before it says so on its own, and a
+    /// converged start has already paid that warmup). Called after the
+    /// cold-start fast-forward and after a checkpoint restore. No-op
+    /// at [`SamplingLevel::Conservative`]: figures on that level carry
+    /// discrete control-decision outputs whose early boosted windows
+    /// are load-bearing (the ablation read 4.4% off when its start ran
+    /// the stable plan), so the conservative contract keeps them.
+    pub fn assume_stable(&mut self) {
+        if self.spec.level == SamplingLevel::Conservative {
+            return;
+        }
+        self.plan = Plan::build(&self.spec, PlanHint::Stable, self.interval_len);
+        self.assume_stable = 1;
     }
 
     fn skip_len(&self) -> u64 {
         self.interval_len - self.plan.warm - self.plan.measure
     }
 
-    /// Converts pending fast-forward epochs into functional warmup:
-    /// called at simulation start (cold cache), after an allocation
-    /// capacity change, and on novel phases — whenever the tag array must
-    /// re-converge before the next measured window means anything.
+    /// Converts pending fast-forward epochs into functional warmup at
+    /// the flat `reconverge_epochs` rate — the un-scaled budget the two
+    /// magnitude-aware variants below cap at.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn force_reconverge(&mut self) {
         self.forced_warm = self.forced_warm.max(self.spec.reconverge_epochs as u64);
+    }
+
+    /// [`Sampler::force_reconverge`] scaled by the magnitude of the
+    /// capacity event: a change that moved `moved` of `total` ways owes
+    /// `ceil(reconverge_epochs * moved / total)` warm epochs, with the
+    /// flat `reconverge_epochs` as the ceiling. Moving one way out of
+    /// eleven invalidates a sliver of the working set and earns a sliver
+    /// of the budget; a full repartition still pays the flat rate.
+    /// `spec.capacity_floor_epochs` (capped at the flat rate) bounds
+    /// the scaled budget from below for workloads whose refill time is
+    /// set by the working set, not the moved capacity.
+    pub fn force_reconverge_scaled(&mut self, moved: u64, total: u64) {
+        let flat = self.spec.reconverge_epochs as u64;
+        let floor = (self.spec.capacity_floor_epochs as u64).min(flat);
+        let scaled = if total == 0 {
+            flat
+        } else {
+            (flat * moved).div_ceil(total).clamp(floor, flat)
+        };
+        self.forced_warm = self.forced_warm.max(scaled);
+    }
+
+    /// [`Sampler::force_reconverge`] scaled by how novel the phase is:
+    /// a phase whose fingerprint sat `distance` per-mille from the
+    /// nearest known centroid owes
+    /// `ceil(reconverge_epochs * min(distance, 1000) / 1000)` warm
+    /// epochs. A barely-over-threshold phase shares most of its
+    /// residency with a known phase and owes a sliver; a wholesale
+    /// working-set change (the reuse arc and miss rate both move, so
+    /// distances reach well past 1000) still pays the flat rate. The
+    /// `spec.novel_floor_epochs` floor applies — separately from the
+    /// capacity floor, because the two triggers mis-scale on different
+    /// workloads (see the spec field docs).
+    pub fn force_reconverge_novel(&mut self, distance: u32) {
+        let flat = self.spec.reconverge_epochs as u64;
+        let floor = (self.spec.novel_floor_epochs as u64).min(flat);
+        let d = distance.min(1000) as u64;
+        let scaled = (flat * d).div_ceil(1000).clamp(floor, flat);
+        self.forced_warm = self.forced_warm.max(scaled);
+    }
+
+    /// Forced functional-warmup epochs still owed.
+    #[cfg(test)]
+    pub fn forced_warm(&self) -> u64 {
+        self.forced_warm
+    }
+
+    /// Drains the forced-warmup debt, returning what was owed. The
+    /// cold-start fast-forward runs exactly this many warm epoch bodies
+    /// outside the interval schedule.
+    pub fn take_forced_warm(&mut self) -> u64 {
+        std::mem::take(&mut self.forced_warm)
+    }
+
+    /// Replaces the forced-warmup debt (checkpoint restore: the owed
+    /// epochs scale with how far the restored state is from this
+    /// scenario's converged layout).
+    pub fn set_forced_warm(&mut self, epochs: u64) {
+        self.forced_warm = epochs;
     }
 
     /// Decides the next epoch's action. `refs`/`misses` are the LLC's
@@ -165,14 +250,23 @@ impl Sampler {
         let permille = if drefs == 0 { 0 } else { (dmiss * 1000 / drefs).min(1000) as u16 };
         let fp = phase::drain_fingerprint(permille);
         let known_phases = self.profiler.phase_count();
-        let hint = self.profiler.observe_interval(fp);
+        let mut hint = self.profiler.observe_interval(fp);
         if self.profiler.phase_count() > known_phases && self.profiler.intervals() > 1 {
             // A novel phase opened mid-simulation (working-set change,
             // traffic shift): the cache contents reflect the old phase, so
             // spend forced warmup re-converging before trusting measured
-            // windows again. The first interval is always novel and is
-            // covered by `cold_start_epochs` instead.
-            self.force_reconverge();
+            // windows again — scaled by how far the new phase actually
+            // sits from the known ones. The first interval is always
+            // novel and is covered by `cold_start_epochs` instead.
+            self.force_reconverge_novel(self.profiler.last_novel_distance());
+        }
+        if self.assume_stable > 0 {
+            // Converged start: the profiler has not seen this phase twice
+            // yet, but the fast-forward / restore already left the cache
+            // in its steady state. A genuinely novel follow-up phase
+            // still re-warms via the forced budget above.
+            self.assume_stable -= 1;
+            hint = PlanHint::Stable;
         }
         self.plan = Plan::build(&self.spec, hint, self.interval_len);
     }
@@ -291,6 +385,55 @@ mod tests {
         assert_eq!(third.iter().filter(|a| **a == EpochAction::Skip).count(), 40);
         // Measure still comes last in every interval.
         assert_eq!(third[99], EpochAction::Measure);
+    }
+
+    #[test]
+    fn scaled_reconverge_budget_tracks_magnitude() {
+        let mut spec = SamplingLevel::Standard.spec();
+        spec.cold_start_epochs = 0;
+        spec.reconverge_epochs = 240;
+        let mut s = Sampler::new(spec, 100);
+        // 2 of 11 ways moved: ceil(240 * 2 / 11) = 44.
+        s.force_reconverge_scaled(2, 11);
+        assert_eq!(s.forced_warm(), 44);
+        // A smaller follow-up event never lowers what is already owed.
+        s.force_reconverge_scaled(1, 11);
+        assert_eq!(s.forced_warm(), 44);
+        // Magnitude beyond the total clamps at the flat budget.
+        s.force_reconverge_scaled(30, 11);
+        assert_eq!(s.forced_warm(), 240);
+        // total = 0 falls back to the flat budget.
+        let mut t = Sampler::new(spec, 100);
+        t.force_reconverge_scaled(5, 0);
+        assert_eq!(t.forced_warm(), 240);
+        // Drain-and-set round trip (fast-forward / restore plumbing).
+        assert_eq!(t.take_forced_warm(), 240);
+        assert_eq!(t.forced_warm(), 0);
+        t.set_forced_warm(7);
+        assert_eq!(t.forced_warm(), 7);
+        // A floor bounds the scaled budget from below (working-set-bound
+        // refills), and is itself capped at the flat rate.
+        spec.capacity_floor_epochs = 100;
+        let mut f = Sampler::new(spec, 100);
+        f.force_reconverge_scaled(1, 11); // scaled 22 < floor 100
+        assert_eq!(f.forced_warm(), 100);
+        f.force_reconverge_scaled(30, 11); // still capped at flat
+        assert_eq!(f.forced_warm(), 240);
+        spec.capacity_floor_epochs = u16::MAX;
+        let mut g = Sampler::new(spec, 100);
+        g.force_reconverge_scaled(1, 11);
+        assert_eq!(g.forced_warm(), 240, "floor saturates at the flat rate");
+        // The novelty floor is independent: it floors phase re-arms but
+        // leaves capacity scaling alone.
+        spec.capacity_floor_epochs = 0;
+        spec.novel_floor_epochs = 100;
+        let mut n = Sampler::new(spec, 100);
+        n.force_reconverge_scaled(1, 11); // capacity unfloored: 22
+        assert_eq!(n.forced_warm(), 22);
+        n.force_reconverge_novel(50); // scaled 12 < novelty floor 100
+        assert_eq!(n.forced_warm(), 100);
+        n.force_reconverge_novel(u32::MAX); // clamps at flat
+        assert_eq!(n.forced_warm(), 240);
     }
 
     #[test]

@@ -56,10 +56,20 @@ impl ClosId {
     ///
     /// # Panics
     ///
-    /// Panics if `id >= CLOS_COUNT`.
+    /// Panics if `id >= CLOS_COUNT`. Callers deriving the id from external
+    /// input (scenario descriptions, CLI arguments) should use
+    /// [`ClosId::try_new`] instead.
     pub fn new(id: u8) -> Self {
-        assert!((id as usize) < CLOS_COUNT, "CLOS id out of range");
-        ClosId(id)
+        ClosId::try_new(id).expect("CLOS id out of range")
+    }
+
+    /// Creates a CLOS id, returning `None` when `id >= CLOS_COUNT`.
+    ///
+    /// The fallible twin of [`ClosId::new`] for ids derived from
+    /// scenario-driven input, where "too many tenants" is a user error
+    /// rather than a programming error.
+    pub fn try_new(id: u8) -> Option<Self> {
+        ((id as usize) < CLOS_COUNT).then_some(ClosId(id))
     }
 
     /// Raw index.
@@ -174,6 +184,12 @@ pub struct Rdt {
     /// execution path re-converges cache state on changes) must not
     /// react to them.
     capacity_gen: u64,
+    /// Cumulative magnitude of capacity changes: every mask write that
+    /// bumps `capacity_gen` adds `|new way count - old way count|` here.
+    /// Consumers diff this across a capacity event to learn *how many*
+    /// ways moved, not just that something did — the sampled execution
+    /// path scales its re-convergence budget by this magnitude.
+    moved_ways: u64,
     /// Opt-in journal of successful writes; empty unless enabled.
     journal: Vec<RegWrite>,
     journal_enabled: bool,
@@ -197,9 +213,12 @@ impl Rdt {
             ways,
             clos_masks: [WayMask::all(ways); CLOS_COUNT],
             core_clos: vec![ClosId::DEFAULT; cores],
+            // Infallible: the range assert above guarantees `ways - 2` does
+            // not underflow and a 2-way mask fits the associativity.
             ddio_mask: WayMask::contiguous(ways - 2, 2).expect("ways >= 2"),
             msr_writes: 0,
             capacity_gen: 0,
+            moved_ways: 0,
             journal: Vec::new(),
             journal_enabled: false,
         }
@@ -266,8 +285,10 @@ impl Rdt {
     /// LLC, or non-contiguous.
     pub fn set_clos_mask(&mut self, clos: ClosId, mask: WayMask) -> Result<()> {
         self.check_cbm(mask)?;
-        if self.clos_masks[clos.index()].count() != mask.count() {
+        let delta = self.clos_masks[clos.index()].count().abs_diff(mask.count());
+        if delta != 0 {
             self.capacity_gen += 1;
+            self.moved_ways += delta as u64;
         }
         self.clos_masks[clos.index()] = mask;
         self.msr_writes += 1;
@@ -328,8 +349,10 @@ impl Rdt {
         if !mask.fits(self.ways) {
             return Err(RdtError::InvalidDdioMask { mask, reason: "exceeds associativity" });
         }
-        if self.ddio_mask.count() != mask.count() {
+        let delta = self.ddio_mask.count().abs_diff(mask.count());
+        if delta != 0 {
             self.capacity_gen += 1;
+            self.moved_ways += delta as u64;
         }
         self.ddio_mask = mask;
         self.msr_writes += 1;
@@ -342,6 +365,15 @@ impl Rdt {
     /// the DDIO register, and untouched by same-size relocations.
     pub fn capacity_gen(&self) -> u64 {
         self.capacity_gen
+    }
+
+    /// Cumulative way-count change magnitude: the sum of
+    /// `|new count - old count|` over every write that bumped
+    /// [`Rdt::capacity_gen`]. Diffing this across a capacity event yields
+    /// the number of ways that changed hands, which the sampled execution
+    /// path uses to scale its re-convergence budget.
+    pub fn moved_ways(&self) -> u64 {
+        self.moved_ways
     }
 
     /// Reads the DDIO (IIO LLC WAYS) register.
@@ -389,23 +421,29 @@ mod tests {
     fn capacity_gen_tracks_way_counts_not_positions() {
         let mut rdt = Rdt::new(11, 4);
         assert_eq!(rdt.capacity_gen(), 0);
+        assert_eq!(rdt.moved_ways(), 0);
         let clos = ClosId::new(1);
-        // Growing a CLOS changes capacity.
+        // Growing a CLOS changes capacity: 11 (power-on all-ways) -> 4.
         rdt.set_clos_mask(clos, WayMask::contiguous(0, 4).unwrap()).unwrap();
         assert_eq!(rdt.capacity_gen(), 1);
+        assert_eq!(rdt.moved_ways(), 7);
         // Sliding the same-width mask (a rotation) does not.
         rdt.set_clos_mask(clos, WayMask::contiguous(2, 4).unwrap()).unwrap();
         assert_eq!(rdt.capacity_gen(), 1);
-        // Shrinking does.
+        assert_eq!(rdt.moved_ways(), 7);
+        // Shrinking does: 4 -> 2 moves two ways.
         rdt.set_clos_mask(clos, WayMask::contiguous(2, 2).unwrap()).unwrap();
         assert_eq!(rdt.capacity_gen(), 2);
+        assert_eq!(rdt.moved_ways(), 9);
         // DDIO: resize counts, relocation does not, rejects change nothing.
         rdt.set_ddio_mask(WayMask::contiguous(5, 2).unwrap()).unwrap();
         assert_eq!(rdt.capacity_gen(), 2);
         rdt.set_ddio_mask(WayMask::contiguous(5, 4).unwrap()).unwrap();
         assert_eq!(rdt.capacity_gen(), 3);
+        assert_eq!(rdt.moved_ways(), 11);
         assert!(rdt.set_ddio_mask(WayMask::EMPTY).is_err());
         assert_eq!(rdt.capacity_gen(), 3);
+        assert_eq!(rdt.moved_ways(), 11);
     }
 
     #[test]
@@ -504,5 +542,12 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn clos_id_bounds() {
         let _ = ClosId::new(16);
+    }
+
+    #[test]
+    fn clos_id_try_new() {
+        assert_eq!(ClosId::try_new(0), Some(ClosId::DEFAULT));
+        assert_eq!(ClosId::try_new(15).map(ClosId::index), Some(15));
+        assert_eq!(ClosId::try_new(16), None);
     }
 }

@@ -29,12 +29,20 @@ use serde_json::{json, Value};
 /// v4: per-figure and top-level `phase_ns` objects break the wall clock
 /// into `{setup, warmup, measure, flush, merge}` nanoseconds (see
 /// [`iat_telemetry::PhaseBreakdown`]; flush nests inside the epoch
-/// buckets and is reported separately, so the five keys do not sum to
-/// the wall clock).
-pub const BENCH_SCHEMA: &str = "iat-bench-repro/v4";
+/// buckets and is reported separately, so the keys do not sum to the
+/// wall clock).
+///
+/// v5: `phase_ns` gains `fast_warm` (compile-time cold-start
+/// fast-forward) and `restore` (convergence-checkpoint restores) for a
+/// seven-key breakdown.
+pub const BENCH_SCHEMA: &str = "iat-bench-repro/v5";
 
 /// Schema tag for one `BENCH_history.jsonl` line (see [`history_record`]).
-pub const HISTORY_SCHEMA: &str = "iat-bench-history/v1";
+///
+/// v2: every line carries `mode` (`"exact"` or `"sampled"`) so the
+/// sampled fast path's aggregate seconds accumulate in the same file as
+/// the exact trajectory without the two being conflated.
+pub const HISTORY_SCHEMA: &str = "iat-bench-history/v2";
 
 /// Schema tag for the committed `BENCH_trajectory.json` (see
 /// [`trajectory_update`]).
@@ -194,6 +202,7 @@ pub fn history_record(report: &Value) -> Value {
         "profile": report["profile"],
         "smoke": report["smoke"],
         "sampled": report["sampled"],
+        "mode": if report["sampled"] == json!(true) { "sampled" } else { "exact" },
         "jobs": report["jobs"],
         "slice_workers": report["slice_workers"],
         "root_seed": report["root_seed"],
@@ -229,6 +238,10 @@ pub fn validate_history(line: &Value) -> Result<(), String> {
     // pre-existing history files still validate line by line.
     if !line["sampled"].is_null() && line["sampled"].as_bool().is_none() {
         return Err("sampled must be a boolean when present".into());
+    }
+    match line["mode"].as_str() {
+        Some("exact" | "sampled") => {}
+        other => return Err(format!("bad mode {other:?} (expected \"exact\" or \"sampled\")")),
     }
     if !line["slice_workers"].is_null() && line["slice_workers"].as_u64().is_none() {
         return Err("slice_workers must be null or a non-negative integer".into());
@@ -350,18 +363,19 @@ pub fn validate_trajectory(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
-/// Validates one v4 `phase_ns` object: all five phase keys present as
+/// Validates one v5 `phase_ns` object: all seven phase keys present as
 /// non-negative integers, nothing else.
 fn validate_phase_ns(v: &Value, whence: &str) -> Result<(), String> {
     let obj = v.as_object().ok_or_else(|| format!("{whence}: phase_ns must be an object"))?;
-    const KEYS: [&str; 5] = ["setup", "warmup", "measure", "flush", "merge"];
+    const KEYS: [&str; 7] =
+        ["setup", "warmup", "fast_warm", "restore", "measure", "flush", "merge"];
     for key in KEYS {
         if v[key].as_u64().is_none() {
             return Err(format!("{whence}: phase_ns.{key} must be a non-negative integer"));
         }
     }
     if obj.len() != KEYS.len() {
-        return Err(format!("{whence}: phase_ns must hold exactly the five phase keys"));
+        return Err(format!("{whence}: phase_ns must hold exactly the seven phase keys"));
     }
     Ok(())
 }
@@ -509,7 +523,7 @@ mod tests {
             warmup_ns: 60_000_000,
             measure_ns: 140_000_000,
             flush_ns: 30_000_000,
-            merge_ns: 0,
+            ..PhaseBreakdown::default()
         };
         let mut merge = fake_report("figX", "figX", Outcome::Ok, 50, 0);
         merge.phases.merge_ns = 50_000_000;
@@ -585,7 +599,8 @@ mod tests {
         assert!(validate(&with_field(&doc, "phase_ns", serde_json::json!({"setup": 1}))).is_err());
         assert!(validate(&with_field(&doc, "phase_ns", serde_json::json!(7))).is_err());
         let mut full = serde_json::json!({
-            "setup": 1u64, "warmup": 1u64, "measure": 1u64, "flush": 1u64, "merge": 1u64
+            "setup": 1u64, "warmup": 1u64, "fast_warm": 1u64, "restore": 1u64,
+            "measure": 1u64, "flush": 1u64, "merge": 1u64
         });
         assert!(validate(&with_field(&doc, "phase_ns", full.clone())).is_ok());
         full["extra"] = serde_json::json!(0);
@@ -611,6 +626,7 @@ mod tests {
         let line = history_record(&doc);
         validate_history(&line).expect("self-emitted history line must validate");
         assert_eq!(line["schema"], HISTORY_SCHEMA);
+        assert_eq!(line["mode"], "exact");
         assert_eq!(line["slice_workers"], 4);
         assert_eq!(line["figures"], 3);
         assert_eq!(line["ok"], false, "figY failed");
@@ -620,6 +636,22 @@ mod tests {
         assert!(validate_history(&with_field(&line, "wall_s", serde_json::json!("fast"))).is_err());
         assert!(
             validate_history(&with_field(&line, "slice_workers", serde_json::json!(-3))).is_err()
+        );
+        assert!(validate_history(&with_field(&line, "mode", serde_json::json!("turbo"))).is_err());
+        assert!(validate_history(&with_field(&line, "mode", Value::Null)).is_err());
+    }
+
+    #[test]
+    fn sampled_history_line_is_tagged_with_mode() {
+        let out = fake_sampled_output();
+        let opts = RunOptions { sampled: true, ..RunOptions::default() };
+        let doc = bench_report(&out, &opts, "release");
+        let line = history_record(&doc);
+        validate_history(&line).expect("sampled history line must validate");
+        assert_eq!(line["mode"], "sampled");
+        assert!(
+            line["aggregate_job_cost_s"].as_f64().unwrap() > 0.0,
+            "sampled lines record the aggregate seconds the fast path took"
         );
     }
 

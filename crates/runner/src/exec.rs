@@ -235,6 +235,7 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
 
     let started = Instant::now();
     iat_cachesim::config::set_slice_workers(opts.slice_workers);
+    crate::checkpoint::reset_counters();
     let include = select(&reg, opts);
     let index: BTreeMap<String, usize> = reg
         .jobs
@@ -375,9 +376,12 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
                 iat_cachesim::config::set_thread_sampling(job.sampled);
                 // Phase accounting and decision capture drain per job on
                 // the worker thread that ran it; reset first so a
-                // previous job's leftovers never leak in.
+                // previous job's leftovers never leak in. Convergence
+                // checkpoints are likewise job-scoped: sharing across jobs
+                // would make restores depend on worker scheduling.
                 let _ = phases::take_phases();
                 let _ = decision::take_thread_records();
+                crate::checkpoint::clear();
                 let t0 = Instant::now();
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)))
@@ -398,12 +402,16 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
                 // remainder constructing scenarios. Flush time nests
                 // inside the epoch buckets, so it is not subtracted.
                 let wall_ns = wall.as_nanos() as u64;
-                let epoch_ns = job_phases.warmup_ns + job_phases.measure_ns;
+                let epoch_ns = job_phases.warmup_ns
+                    + job_phases.fast_warm_ns
+                    + job_phases.restore_ns
+                    + job_phases.measure_ns;
                 if job.deps.is_empty() {
                     job_phases.setup_ns = wall_ns.saturating_sub(epoch_ns);
                 } else {
                     job_phases.merge_ns = wall_ns.saturating_sub(epoch_ns);
                 }
+                crate::checkpoint::clear();
                 iat_cachesim::config::set_thread_sampling(None);
                 iat_cachesim::config::release_slot();
                 if span::global_enabled() {
@@ -584,10 +592,10 @@ pub fn print_summary(out: &RunOutput, expected: &[(String, f64)]) {
     }
     progress("");
     progress(
-        "figure        jobs      cost   accesses   acc/s  vs prev  setup/warm/meas/flush/merge",
+        "figure        jobs      cost   accesses   acc/s  vs prev  setup/warm/fwarm/rest/meas/flush/merge",
     );
     progress(
-        "------------------------------------------------------------------------------------",
+        "----------------------------------------------------------------------------------------------",
     );
     let mut busy = Duration::ZERO;
     let mut total_accesses = 0u64;
@@ -615,7 +623,7 @@ pub fn print_summary(out: &RunOutput, expected: &[(String, f64)]) {
             });
         let s = |ns: u64| format!("{:.1}", ns as f64 / 1e9);
         progress(&format!(
-            "{:<12} {:>5} {:>7.2} s {:>8} {:>7} {:>7}  {:>27}{}{}",
+            "{:<12} {:>5} {:>7.2} s {:>8} {:>7} {:>7}  {:>37}{}{}",
             group,
             jobs,
             wall.as_secs_f64(),
@@ -623,9 +631,11 @@ pub fn print_summary(out: &RunOutput, expected: &[(String, f64)]) {
             rate_col,
             delta_col,
             format!(
-                "{}/{}/{}/{}/{} s",
+                "{}/{}/{}/{}/{}/{}/{} s",
                 s(phases.setup_ns),
                 s(phases.warmup_ns),
+                s(phases.fast_warm_ns),
+                s(phases.restore_ns),
                 s(phases.measure_ns),
                 s(phases.flush_ns),
                 s(phases.merge_ns)
@@ -635,8 +645,14 @@ pub fn print_summary(out: &RunOutput, expected: &[(String, f64)]) {
         ));
     }
     progress(
-        "------------------------------------------------------------------------------------",
+        "----------------------------------------------------------------------------------------------",
     );
+    let (restores, computes) = crate::checkpoint::counters();
+    if restores + computes > 0 {
+        progress(&format!(
+            "convergence checkpoints: {computes} computed, {restores} restored",
+        ));
+    }
     progress(&format!(
         "wall {:.2} s, aggregate job cost {:.2} s ({:.2}x concurrency), {} files, {} msr writes traced",
         out.wall.as_secs_f64(),

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod bench_report;
+pub mod checkpoint;
 mod cli;
 mod errors;
 mod exec;

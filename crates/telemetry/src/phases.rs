@@ -6,7 +6,9 @@
 //! once per job with [`take_phases`] — the same drain-per-job pattern
 //! as `iat-platform`'s simulated-access counters.
 //!
-//! Tallied here: `Warmup` (functional-warmup epoch bodies), `Measure`
+//! Tallied here: `Warmup` (in-loop functional-warmup epoch bodies),
+//! `FastWarm` (cold-start fast-forward warmup run at scenario-compile
+//! time), `Restore` (convergence-checkpoint restores), `Measure`
 //! (measured epoch bodies) and `Flush` (LLC batch flushes; *nested
 //! inside* the epoch buckets, reported separately, never added to
 //! them). `Setup` and `Merge` are derived by the runner from job wall
@@ -20,6 +22,11 @@ use std::cell::Cell;
 pub enum Phase {
     /// Functional-warmup epoch bodies (sampled runs only).
     Warmup,
+    /// Cold-start warmup fast-forwarded at scenario-compile time
+    /// (sampled runs with `cold_start_epochs > 0`).
+    FastWarm,
+    /// Convergence-checkpoint restores (hierarchy clone-in).
+    Restore,
     /// Measured epoch bodies.
     Measure,
     /// LLC batch flushes (a sub-slice of the epoch buckets).
@@ -37,6 +44,10 @@ pub struct PhaseBreakdown {
     pub setup_ns: u64,
     /// Functional-warmup epoch bodies.
     pub warmup_ns: u64,
+    /// Cold-start fast-forward warmup (compile-time, sampled runs).
+    pub fast_warm_ns: u64,
+    /// Convergence-checkpoint restores.
+    pub restore_ns: u64,
     /// Measured epoch bodies.
     pub measure_ns: u64,
     /// LLC batch flushes (nested inside the epoch buckets).
@@ -51,6 +62,8 @@ impl PhaseBreakdown {
     pub fn add(&mut self, other: &PhaseBreakdown) {
         self.setup_ns += other.setup_ns;
         self.warmup_ns += other.warmup_ns;
+        self.fast_warm_ns += other.fast_warm_ns;
+        self.restore_ns += other.restore_ns;
         self.measure_ns += other.measure_ns;
         self.flush_ns += other.flush_ns;
         self.merge_ns += other.merge_ns;
@@ -61,6 +74,8 @@ impl PhaseBreakdown {
         json!({
             "setup": self.setup_ns,
             "warmup": self.warmup_ns,
+            "fast_warm": self.fast_warm_ns,
+            "restore": self.restore_ns,
             "measure": self.measure_ns,
             "flush": self.flush_ns,
             "merge": self.merge_ns,
@@ -70,6 +85,8 @@ impl PhaseBreakdown {
 
 thread_local! {
     static WARMUP_NS: Cell<u64> = const { Cell::new(0) };
+    static FAST_WARM_NS: Cell<u64> = const { Cell::new(0) };
+    static RESTORE_NS: Cell<u64> = const { Cell::new(0) };
     static MEASURE_NS: Cell<u64> = const { Cell::new(0) };
     static FLUSH_NS: Cell<u64> = const { Cell::new(0) };
 }
@@ -77,6 +94,8 @@ thread_local! {
 fn cell_for(phase: Phase) -> &'static std::thread::LocalKey<Cell<u64>> {
     match phase {
         Phase::Warmup => &WARMUP_NS,
+        Phase::FastWarm => &FAST_WARM_NS,
+        Phase::Restore => &RESTORE_NS,
         Phase::Measure => &MEASURE_NS,
         Phase::Flush => &FLUSH_NS,
     }
@@ -93,6 +112,8 @@ pub fn take_phases() -> PhaseBreakdown {
     PhaseBreakdown {
         setup_ns: 0,
         warmup_ns: WARMUP_NS.with(|c| c.replace(0)),
+        fast_warm_ns: FAST_WARM_NS.with(|c| c.replace(0)),
+        restore_ns: RESTORE_NS.with(|c| c.replace(0)),
         measure_ns: MEASURE_NS.with(|c| c.replace(0)),
         flush_ns: FLUSH_NS.with(|c| c.replace(0)),
         merge_ns: 0,
@@ -131,11 +152,21 @@ mod tests {
 
     #[test]
     fn breakdown_add_and_json() {
-        let mut a = PhaseBreakdown { setup_ns: 1, warmup_ns: 2, measure_ns: 3, flush_ns: 4, merge_ns: 5 };
+        let mut a = PhaseBreakdown {
+            setup_ns: 1,
+            warmup_ns: 2,
+            fast_warm_ns: 6,
+            restore_ns: 7,
+            measure_ns: 3,
+            flush_ns: 4,
+            merge_ns: 5,
+        };
         a.add(&a.clone());
         assert_eq!(a.measure_ns, 6);
         let v = a.to_json();
         assert_eq!(v["setup"], 2u64);
+        assert_eq!(v["fast_warm"], 12u64);
+        assert_eq!(v["restore"], 14u64);
         assert_eq!(v["merge"], 10u64);
     }
 }

@@ -216,6 +216,10 @@ pub struct PhaseProfiler {
     stable_run: u32,
     intervals: u64,
     boundaries: Vec<PhaseBoundary>,
+    /// Distance from the most recently created phase's fingerprint to
+    /// the nearest pre-existing centroid — how *novel* the novel phase
+    /// was. `u32::MAX` for the first phase (nothing to compare against).
+    last_novel_distance: u32,
 }
 
 impl PhaseProfiler {
@@ -243,6 +247,7 @@ impl PhaseProfiler {
         let phase = match nearest {
             Some((d, i)) if d <= PHASE_THRESHOLD => i,
             _ => {
+                self.last_novel_distance = nearest.map_or(u32::MAX, |(d, _)| d);
                 self.centroids.push(fp);
                 self.weights.push(0);
                 let id = self.centroids.len() - 1;
@@ -284,6 +289,17 @@ impl PhaseProfiler {
     /// Number of distinct phases seen so far.
     pub fn phase_count(&self) -> usize {
         self.centroids.len()
+    }
+
+    /// How far the most recently created phase sat from the nearest
+    /// centroid that existed before it — the *magnitude* of the last
+    /// novelty, in the same per-mille displacement units as
+    /// [`Fingerprint::distance`]. `u32::MAX` when the last novel phase
+    /// was the first phase ever seen (maximally novel by definition).
+    /// Meaningless unless [`Self::phase_count`] grew since the caller
+    /// last checked.
+    pub fn last_novel_distance(&self) -> u32 {
+        self.last_novel_distance
     }
 
     /// Intervals classified into each phase (cluster weights, in phase-id
