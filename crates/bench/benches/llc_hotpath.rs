@@ -14,6 +14,13 @@
 //!   extra worker; informational, for comparing batching overhead and
 //!   multi-worker scaling against the serial calls above (results are
 //!   bit-identical either way).
+//! * `gen_window/{1,8}agent` — the merge-side replay shape of the
+//!   tenant-sharded front end: a 1024-access miss-heavy window issued
+//!   either as one agent's window or as eight consecutive per-agent
+//!   subwindows (eight shards' windows merged in canonical order, each
+//!   with its own attribution agent and address stream). The gap is the
+//!   per-window attribution/mask switch cost the generation merge pays
+//!   over a monolithic window.
 //! * `warmup_window/frozen_1w` — the same batched window with
 //!   statistics frozen but the frozen fast body disabled: the full
 //!   per-access pipeline running against a frozen sink.
@@ -138,6 +145,42 @@ fn bench_hotpath(c: &mut Criterion) {
                 }
                 llc.batch_flush();
                 black_box(llc.valid_lines())
+            });
+        });
+    }
+    iat_cachesim::config::set_slice_workers(None);
+    group.finish();
+
+    // The tenant-sharded front end's merge replay: per-agent windows
+    // arrive in canonical shard order and are fed to the batch pipeline
+    // back to back. `1agent` is the monolithic window; `8agent` splits
+    // the same access count into eight consecutive per-agent subwindows
+    // with distinct attribution agents and address streams — the shape
+    // an 8-shard generation pool hands the merge thread.
+    let mut group = c.benchmark_group("llc_hotpath_frontend");
+    group.throughput(Throughput::Elements(WINDOW));
+    for agents in [1u64, 8] {
+        group.bench_function(format!("gen_window/{agents}agent"), |b| {
+            iat_cachesim::config::set_slice_workers(Some(1));
+            let geom = CacheGeometry::xeon_6140_llc();
+            let mut llc = Llc::new(geom);
+            let mask = WayMask::contiguous(0, 2).expect("mask");
+            let span = geom.total_lines() * 8;
+            let sub = WINDOW / agents;
+            let mut cursors = vec![0u64; agents as usize];
+            b.iter(|| {
+                for (a, cursor) in cursors.iter_mut().enumerate() {
+                    let agent = AgentId::new(a as u16);
+                    for _ in 0..sub {
+                        *cursor = (*cursor + 1) % span;
+                        // Distinct per-agent streams: offset by a third
+                        // of the span per agent so streams never align.
+                        let addr = (*cursor + a as u64 * (span / 3)) % span;
+                        llc.batch_core_access(agent, mask, addr * LINE, CoreOp::Read);
+                    }
+                }
+                llc.batch_flush();
+                black_box(llc.accesses())
             });
         });
     }

@@ -16,10 +16,10 @@
 
 use iat_bench::corpus::CorpusSpec;
 use iat_runner::{
-    attach_sample_errors, bench_report, check_outputs, expected_costs, history_record, load_json,
-    parse_args, print_summary, progress, reset_staging_dirs, run, trajectory_eligible,
-    trajectory_update, unknown_filters, validate_history, validate_trajectory, write_outputs,
-    USAGE,
+    attach_sample_errors, bench_report, check_outputs, expected_costs, expected_job_costs,
+    history_record, load_json, parse_args, print_summary, progress, reset_staging_dirs, run,
+    trajectory_eligible, trajectory_update, unknown_filters, validate_history,
+    validate_trajectory, write_outputs, USAGE,
 };
 use std::path::Path;
 
@@ -84,19 +84,27 @@ fn main() {
     // bytes are identical with or without the hint; a corrupt report is
     // worth a warning (something rewrote it) but never blocks the run.
     match load_json(&exact_dir.join("BENCH_repro.json")) {
-        Ok(doc) => cli.opts.expected_costs = expected_costs(&doc),
+        Ok(doc) => {
+            cli.opts.expected_costs = expected_costs(&doc);
+            cli.opts.expected_job_costs = expected_job_costs(&doc);
+        }
         Err(e) if e.is_not_found() => {}
         Err(e) => progress(&format!("warning: ignoring scheduling-hint report: {e}")),
     }
 
     progress(&format!(
-        "repro: {} worker(s), seed {}{}{}{}{}{}",
+        "repro: {} worker(s), seed {}{}{}{}{}{}{}",
         cli.opts.jobs,
         cli.opts.root_seed,
         match cli.opts.slice_workers {
             None => String::new(),
             Some(0) => ", serial oracle".to_owned(),
             Some(n) => format!(", {n} slice worker(s)"),
+        },
+        match cli.opts.gen_workers {
+            None => String::new(),
+            Some(0) => ", serial front end".to_owned(),
+            Some(n) => format!(", {n} gen worker(s)"),
         },
         cli.corpus
             .map_or(String::new(), |n| format!(", corpus of {n}")),
@@ -151,24 +159,26 @@ fn main() {
     // Corpus runs are graded on their summary artifact: it must exist on
     // disk, validate against the summary schema, and account for every
     // requested scenario — a corpus sweep that ran nothing is an error.
+    let mut corpus_summary: Option<serde_json::Value> = None;
     if let Some(count) = cli.corpus {
         let summary_path = dir.join("corpus_summary.json");
         match load_json(&summary_path)
             .and_then(|doc| {
-                iat_bench::corpus::validate_corpus_summary(&doc).map_err(|reason| {
-                    iat_runner::LoadError::Schema {
+                iat_bench::corpus::validate_corpus_summary(&doc)
+                    .map(|ran| (ran, doc))
+                    .map_err(|reason| iat_runner::LoadError::Schema {
                         path: summary_path.clone(),
                         reason,
-                    }
-                })
+                    })
             }) {
-            Ok(ran) if ran == count => {
+            Ok((ran, doc)) if ran == count => {
                 progress(&format!(
                     "corpus summary validates: {ran} scenario(s) ran ({})",
                     summary_path.display()
                 ));
+                corpus_summary = Some(doc);
             }
-            Ok(ran) => {
+            Ok((ran, _)) => {
                 progress(&format!(
                     "error: corpus summary covers {ran} scenario(s), expected {count}"
                 ));
@@ -341,21 +351,31 @@ fn main() {
         progress(&format!("wrote {}", prom_path.display()));
     }
 
-    // One compact line per run accumulates in BENCH_history.jsonl (gitignored
-    // — wall clock is machine-local) so perf work can see its own trajectory.
-    // Corpus runs stay out: their job set is generated, so their costs are
-    // not comparable with the figure sweep the history tracks.
-    if cli.corpus.is_none() {
-        let line = history_record(&report);
-        validate_history(&line).expect("self-emitted history line validates");
+    // Compact lines accumulate in BENCH_history.jsonl (gitignored — wall
+    // clock is machine-local) so perf work can see its own trajectory.
+    // Figure sweeps append one headline line; corpus runs append one line
+    // per scenario class (tagged `corpus_class`, scoped to that class's
+    // wall/accesses and mean metrics) so the generated corpus has a
+    // trajectory too without conflating it with the figure sweep's.
+    let history_lines: Vec<serde_json::Value> = match &corpus_summary {
+        Some(summary) => iat_runner::corpus_history_records(&report, summary),
+        None if cli.corpus.is_some() => Vec::new(), // summary invalid: exit=1 already
+        None => vec![history_record(&report)],
+    };
+    if !history_lines.is_empty() {
         let history_path = exact_dir.join("BENCH_history.jsonl");
-        let line = format!("{line}\n");
+        let mut text = String::new();
+        for line in &history_lines {
+            validate_history(line).expect("self-emitted history line validates");
+            text.push_str(&line.to_string());
+            text.push('\n');
+        }
         if let Err(e) = std::fs::create_dir_all(exact_dir).and_then(|()| {
             std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(&history_path)
-                .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()))
+                .and_then(|mut f| std::io::Write::write_all(&mut f, text.as_bytes()))
         }) {
             progress(&format!("error: appending {}: {e}", history_path.display()));
             exit = 1;

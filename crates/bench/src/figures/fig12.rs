@@ -3,9 +3,17 @@
 //! application (Redis behind OVS, or a FastClick NF chain), for the
 //! baseline (min–max over randomly rotated initial layouts) and IAT
 //! (shuffle-enabled, tenant re-allocation disabled, per Sec. VI-C).
-//! One leaf job per PC application.
+//!
+//! One leaf job per *sweep point*: the PC app's solo run and each
+//! networking co-runner are separate jobs, so the sweep's long pole is
+//! one (pc, net) point — four policy simulations that must stay
+//! together because they share convergence checkpoints — instead of a
+//! whole PC application's 18-simulation sweep. A per-PC mid-merge job
+//! keeps the historical `fig12/<pc>` name (and therefore the committed
+//! captures' seed derivation) and hands the assembled rows to the
+//! figure merge unchanged.
 
-use super::{merge_rows, rows_artifact};
+use super::{merge_rows, rows_artifact, rows_from};
 use crate::harness::take_sim_accesses;
 use crate::report::{f, record_accesses, FigureReport};
 use crate::scenarios::{self, NetApp, PcApp, PolicyKind};
@@ -22,48 +30,48 @@ fn pc_rate(m: &mut crate::Managed, idx: usize) -> f64 {
     win.ops_per_s(idx)
 }
 
-/// Both networking co-runners for one PC application.
-fn sweep(pc_name: &str, pc: PcApp, seed: u64) -> Vec<(Vec<String>, Value)> {
-    let nets = [("redis", NetApp::Redis), ("fastclick", NetApp::FastClick)];
+/// One (pc, net) sweep point: the three baseline rotations plus IAT.
+/// The four policy variants stay in one job because they share
+/// convergence checkpoints (same scenario fingerprint).
+fn net_point(
+    pc_name: &str,
+    net_name: &str,
+    net: NetApp,
+    pc: PcApp,
+    solo: f64,
+    seed: u64,
+) -> (Vec<String>, Value) {
     let rotations = [0usize, 2, 4];
-    let mut rows = Vec::new();
-
-    // Solo rate of the PC app.
-    let solo = {
-        let (mut m, id) = scenarios::pc_solo(pc, seed);
-        pc_rate(&mut m, id.0 as usize)
+    let co_rate = |policy: PolicyKind| {
+        let (mut m, ids) = scenarios::app_scenario(net, pc, YcsbMix::b(), true, policy, seed);
+        pc_rate(&mut m, ids.pc.expect("pc present").0 as usize)
     };
-    for (net_name, net) in &nets {
-        let co_rate = |policy: PolicyKind| {
-            let (mut m, ids) = scenarios::app_scenario(*net, pc, YcsbMix::b(), true, policy, seed);
-            pc_rate(&mut m, ids.pc.expect("pc present").0 as usize)
-        };
-        let mut baseline_norms = Vec::new();
-        for &rot in &rotations {
-            let rate = co_rate(PolicyKind::Baseline(rot));
-            baseline_norms.push(solo / rate.max(1e-12));
-        }
-        let iat_norm = solo / co_rate(PolicyKind::IatShuffleOnly).max(1e-12);
-        let (bmin, bmax) = (
-            baseline_norms.iter().cloned().fold(f64::INFINITY, f64::min),
-            baseline_norms.iter().cloned().fold(0.0f64, f64::max),
-        );
-        rows.push((
-            vec![
-                pc_name.to_owned(),
-                (*net_name).into(),
-                f(bmin, 3),
-                f(bmax, 3),
-                f(iat_norm, 3),
-            ],
-            serde_json::json!({
-                "pc": pc_name, "net": net_name,
-                "baseline_min": bmin, "baseline_max": bmax, "iat": iat_norm,
-            }),
-        ));
+    let mut baseline_norms = Vec::new();
+    for &rot in &rotations {
+        let rate = co_rate(PolicyKind::Baseline(rot));
+        baseline_norms.push(solo / rate.max(1e-12));
     }
-    rows
+    let iat_norm = solo / co_rate(PolicyKind::IatShuffleOnly).max(1e-12);
+    let (bmin, bmax) = (
+        baseline_norms.iter().cloned().fold(f64::INFINITY, f64::min),
+        baseline_norms.iter().cloned().fold(0.0f64, f64::max),
+    );
+    (
+        vec![
+            pc_name.to_owned(),
+            net_name.to_owned(),
+            f(bmin, 3),
+            f(bmax, 3),
+            f(iat_norm, 3),
+        ],
+        serde_json::json!({
+            "pc": pc_name, "net": net_name,
+            "baseline_min": bmin, "baseline_max": bmax, "iat": iat_norm,
+        }),
+    )
 }
+
+const NETS: [(&str, NetApp); 2] = [("redis", NetApp::Redis), ("fastclick", NetApp::FastClick)];
 
 fn pc_apps() -> Vec<(String, PcApp)> {
     let mut v: Vec<(String, PcApp)> = [
@@ -87,13 +95,58 @@ pub(crate) fn register(reg: &mut Registry) {
         .collect();
     let spec = crate::sampling::spec_for("fig12").expect("fig12 declares sampling");
     for (pc_name, pc) in pc_apps() {
+        // Every point job derives its seed from the historical per-PC
+        // leaf name, so the split cannot move any scenario's seed.
+        let leaf = format!("fig12/{pc_name}");
+        let solo_job = format!("{leaf}/solo");
         reg.add(
-            JobSpec::new(format!("fig12/{pc_name}"), "fig12", move |ctx| {
-                let rows = sweep(&pc_name, pc, ctx.seed("scenario"));
-                record_accesses(ctx, take_sim_accesses());
-                Ok(rows_artifact(rows))
+            JobSpec::new(&solo_job, "fig12", {
+                let leaf = leaf.clone();
+                move |ctx| {
+                    let (mut m, id) = scenarios::pc_solo(pc, ctx.seed_of(&leaf, "scenario"));
+                    let solo = pc_rate(&mut m, id.0 as usize);
+                    record_accesses(ctx, take_sim_accesses());
+                    Ok(serde_json::json!(solo))
+                }
             })
             .sampled(spec),
+        );
+        for (net_name, net) in NETS {
+            reg.add(
+                JobSpec::new(format!("{leaf}/{net_name}"), "fig12", {
+                    let (leaf, solo_job) = (leaf.clone(), solo_job.clone());
+                    let pc_name = pc_name.clone();
+                    move |ctx| {
+                        let solo = ctx.dep(&solo_job).as_f64().expect("solo rate");
+                        let seed = ctx.seed_of(&leaf, "scenario");
+                        let row = net_point(&pc_name, net_name, net, pc, solo, seed);
+                        record_accesses(ctx, take_sim_accesses());
+                        Ok(rows_artifact(vec![row]))
+                    }
+                })
+                .deps(&[&solo_job])
+                .sampled(spec),
+            );
+        }
+        // Mid-merge under the historical leaf name: concatenates the
+        // per-net rows in fixed order for the figure merge below.
+        let point_jobs: Vec<String> = NETS
+            .iter()
+            .map(|(net_name, _)| format!("{leaf}/{net_name}"))
+            .collect();
+        let point_refs: Vec<&str> = point_jobs.iter().map(String::as_str).collect();
+        reg.add(
+            JobSpec::new(&leaf, "fig12", {
+                let point_jobs = point_jobs.clone();
+                move |ctx| {
+                    let mut rows = Vec::new();
+                    for p in &point_jobs {
+                        rows.extend(rows_from(ctx.dep(p)));
+                    }
+                    Ok(rows_artifact(rows))
+                }
+            })
+            .deps(&point_refs),
         );
     }
     let deps: Vec<&str> = leaves.iter().map(String::as_str).collect();

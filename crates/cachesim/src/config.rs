@@ -31,6 +31,10 @@ const MODE_AUTO: u32 = u32::MAX;
 const MODE_SERIAL: u32 = 0;
 
 static MODE: AtomicU32 = AtomicU32::new(MODE_AUTO);
+/// Generation-worker policy: `MODE_AUTO` sizes the pool from the leftover
+/// slot budget, `MODE_SERIAL` keeps the serial front end, `n` pins the
+/// pool at `n` workers.
+static MODE_GEN: AtomicU32 = AtomicU32::new(MODE_AUTO);
 /// Total worker slots (0 = derive from `available_parallelism` on first use).
 static SLOTS_TOTAL: AtomicU32 = AtomicU32::new(0);
 /// Memoized `available_parallelism` (0 = not yet queried). Auto-mode
@@ -68,6 +72,42 @@ pub fn set_slice_workers(workers: Option<u32>) {
 #[inline]
 pub fn batching_enabled() -> bool {
     MODE.load(Ordering::Relaxed) != MODE_SERIAL
+}
+
+/// Upper bound on the generation workers an auto-mode epoch will spawn.
+/// A generation worker earns its keep only when whole cores are idle —
+/// it ping-pongs with the merge thread per window — so auto never
+/// oversubscribes: it spends only *leftover* slots, and resolves to the
+/// serial front end when none are free.
+const AUTO_GEN_CAP: u32 = 4;
+
+/// Sets the generation-worker policy for the whole process
+/// (`--gen-workers`).
+///
+/// * `None` — auto (the default): spawn up to [`AUTO_GEN_CAP`] workers
+///   from the leftover slot budget; zero leftover keeps the serial path.
+/// * `Some(0)` — serial front end: the epoch loop generates and resolves
+///   every access on the calling thread, exactly as before.
+/// * `Some(n)` — pin the pool at `n` workers (capped by the shard count
+///   at dispatch time).
+pub fn set_gen_workers(workers: Option<u32>) {
+    MODE_GEN.store(workers.unwrap_or(MODE_AUTO), Ordering::Relaxed);
+}
+
+/// Number of tenant-generation workers the next epoch may spawn; zero
+/// selects the serial front end. Results are bit-identical for every
+/// answer by construction (the merge thread replays windows in canonical
+/// order), so — like [`flush_workers`] — this knob only moves wall clock.
+#[inline]
+pub fn gen_workers() -> usize {
+    match MODE_GEN.load(Ordering::Relaxed) {
+        MODE_AUTO => {
+            let total = total_slots();
+            let used = SLOTS_USED.load(Ordering::Relaxed).max(1);
+            total.saturating_sub(used).min(AUTO_GEN_CAP) as usize
+        }
+        n => n as usize,
+    }
 }
 
 /// Declares the process-wide worker-slot total shared by inter-job and
@@ -260,6 +300,25 @@ mod tests {
         assert!(flush_workers() >= 1);
         // Auto always batches; only the worker count adapts to the budget.
         assert!(batching_enabled());
+    }
+
+    #[test]
+    fn gen_modes_round_trip() {
+        set_gen_workers(Some(0));
+        assert_eq!(gen_workers(), 0);
+        set_gen_workers(Some(3));
+        assert_eq!(gen_workers(), 3);
+        set_gen_workers(None);
+        // Auto spends only leftover slots; with the whole budget claimed
+        // it falls back to the serial front end.
+        set_worker_slots(2);
+        acquire_slot();
+        acquire_slot();
+        assert_eq!(gen_workers(), 0);
+        release_slot();
+        assert_eq!(gen_workers(), 1);
+        release_slot();
+        set_worker_slots(0);
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Tenant-parallel front end: deterministic agent-sharded access
+//! generation.
+//!
+//! The serial epoch body interleaves, per chunk, three phases in
+//! canonical tenant order: inbound DMA (phase 1), core execution
+//! (phase 2), Tx drain (phase 3). Everything a tenant *generates* in
+//! those phases — traffic batches, ring claims, workload address
+//! streams, window boundaries — depends only on that tenant's private
+//! state plus the cycle costs of its own earlier windows; only the
+//! *resolution* of accesses against the shared hierarchy couples
+//! tenants. So the front end shards: tenants are grouped into
+//! contiguous *shards* (tenants sharing an inter-workload channel never
+//! split), a pool of generation workers runs the shards' front ends,
+//! and the calling thread becomes the *merge* thread, owning the
+//! hierarchy and replaying every shard's plans and windows strictly in
+//! canonical tenant order.
+//!
+//! ## The interleave-order contract (bit-identity by construction)
+//!
+//! The merge thread issues hierarchy operations in exactly the order
+//! the serial body would have:
+//!
+//! 1. Per chunk, each shard's phase-1 DDIO writes apply in shard order
+//!    (ring decisions were taken worker-side and depend only on ring
+//!    occupancy, never on cache outcomes), then one flush — the
+//!    re-grouping of the serial per-port flushes is covered by the
+//!    batch pipeline's flush-boundary invariance.
+//! 2. Phase-2 windows resolve shard by shard; within a shard the
+//!    worker emits them in canonical (tenant, core, window) order, and
+//!    blocks on each window's costs before cutting the next — the
+//!    certain-bound-or-flush contract makes window content independent
+//!    of other tenants, while boundaries wait for costs. Phase
+//!    observation replays here, on the merge thread, in the same
+//!    order, so sampled-mode schedules are unchanged.
+//! 3. Phase-3 device reads apply in shard order, then one flush.
+//!
+//! A worker sends the phase-1 plans of *all* its shards before running
+//! any phase 2 (a shard's phase-1 state is private and independent of
+//! phase 2), so the merge thread can always collect every phase-1 plan
+//! without deadlock; a shard's phase-3 plan is sent right after its own
+//! phase 2 (its Tx rings are final then — later shards cannot touch
+//! them), though the merge thread applies it only after every shard's
+//! windows resolved.
+//!
+//! Workers are spawned per epoch from [`iat_cachesim::config::gen_workers`]'s
+//! answer and hold worker-budget slots for the epoch, so auto-mode
+//! flush workers on the merge thread never oversubscribe the machine
+//! (DESIGN.md §6.4).
+
+use crate::tenant::Tenant;
+use iat_cachesim::{config, LatencyModel, MemoryHierarchy, WayMask};
+use iat_perf::CounterBank;
+use iat_workloads::gen::{GenLane, GenMsg, GenReply};
+use iat_workloads::{phase, CacheBackend, Channels, ExecCtx};
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Per-epoch constants the workers and the merge loop share.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EpochParams {
+    /// Sub-slices of the epoch.
+    pub chunks: u64,
+    /// Modelled nanoseconds of traffic per chunk.
+    pub dt: u64,
+    /// Cycle budget per core per chunk.
+    pub budget: u64,
+    /// Whether this is a measured epoch (counters retire, drop tallies
+    /// stick).
+    pub measured: bool,
+    /// The DDIO way mask (constant within an epoch).
+    pub ddio: WayMask,
+}
+
+/// Splits `tenants` into maximal contiguous ranges that never separate
+/// two tenants sharing an inter-workload channel. Each range is one
+/// shard; the merge thread serves shards in range order, which equals
+/// canonical tenant order.
+pub(crate) fn shard_ranges(tenants: &[Tenant]) -> Vec<Range<usize>> {
+    // For each channel: the span of tenant indices touching it. A shard
+    // boundary after tenant `i` is legal iff no channel spans i → i+1.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut chan_span: std::collections::BTreeMap<usize, (usize, usize)> = Default::default();
+    for (i, t) in tenants.iter().enumerate() {
+        for id in t.workload.channel_ids() {
+            let e = chan_span.entry(id.0).or_insert((i, i));
+            e.1 = e.1.max(i);
+        }
+    }
+    spans.extend(chan_span.into_values());
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    for i in 0..tenants.len() {
+        let crossed = spans.iter().any(|&(lo, hi)| lo <= i && i < hi);
+        if !crossed {
+            ranges.push(start..i + 1);
+            start = i + 1;
+        }
+    }
+    ranges
+}
+
+/// One shard's worker-side state: the tenants (moved in by mutable
+/// borrow), their CAT masks, the lent channel subset, and the lane to
+/// the merge thread.
+struct Shard<'a> {
+    tenants: &'a mut [Tenant],
+    masks: &'a [WayMask],
+    channels: Channels,
+    chan_ids: Vec<iat_workloads::ChannelId>,
+}
+
+/// Builds the phase-1 DMA plan for one shard chunk: generates traffic,
+/// claims ring slots, restores warm-mode drop counters — everything the
+/// serial body did except touching the hierarchy, whose line writes are
+/// collected into `writes` in delivery order.
+fn phase1_plan(shard: &mut Shard<'_>, p: &EpochParams, writes: &mut Vec<u64>) -> (u64, u64) {
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    for t in shard.tenants.iter_mut() {
+        for b in &mut t.bindings {
+            let batch = b.gen.generate(p.dt);
+            let ports = t.workload.ports_mut();
+            assert!(b.port < ports.len(), "binding port out of range");
+            let port = &mut ports[b.port];
+            let before_drops = port.dma.rx_dropped;
+            let accepted = port.dma.rx_batch_plan(&mut port.rx, &batch, writes) as u64;
+            delivered += accepted;
+            dropped += port.dma.rx_dropped - before_drops;
+            if !p.measured {
+                // Warmup delivery must not inflate cumulative drop
+                // counters (mirrors the serial body).
+                port.dma.rx_dropped = before_drops;
+            }
+        }
+    }
+    (delivered, dropped)
+}
+
+/// Runs one worker: the front ends of `shards`, each wired to the merge
+/// thread through its own lane. Returns the lent channel subsets for
+/// the caller to restore.
+fn run_worker(mut shards: Vec<(Shard<'_>, GenLane)>, p: EpochParams) -> Vec<(Vec<iat_workloads::ChannelId>, Channels)> {
+    for _ in 0..p.chunks {
+        // Phase-1 plans for *every* owned shard go out before any
+        // phase 2, so the merge thread can collect all plans while this
+        // worker ping-pongs windows of an earlier shard.
+        for (shard, lane) in shards.iter_mut() {
+            let mut writes = Vec::new();
+            let (delivered, dropped) = phase1_plan(shard, &p, &mut writes);
+            lane.send(GenMsg::Phase1 { writes, delivered, dropped });
+        }
+        for (shard, lane) in shards.iter_mut() {
+            for ti in 0..shard.tenants.len() {
+                let t = &mut shard.tenants[ti];
+                let mask = shard.masks[ti];
+                for &core in &t.cores {
+                    let mut ctx = ExecCtx {
+                        cache: CacheBackend::Sharded(lane),
+                        channels: &mut shard.channels,
+                        core,
+                        agent: t.agent,
+                        mask,
+                        cycle_budget: p.budget,
+                    };
+                    let result = t.workload.run(&mut ctx);
+                    lane.send(GenMsg::SliceDone { core, result });
+                }
+            }
+            lane.send(GenMsg::Phase2Done);
+            // This shard's Tx rings are final: later shards cannot
+            // touch them (channel co-sharding), so the phase-3 plan can
+            // be cut now and applied by the merge thread after all
+            // shards' windows.
+            let mut reads = Vec::new();
+            for t in shard.tenants.iter_mut() {
+                for port in t.workload.ports_mut() {
+                    port.dma.tx_drain_plan(&mut port.tx, usize::MAX, &mut reads);
+                }
+            }
+            lane.send(GenMsg::Phase3 { reads });
+        }
+    }
+    shards.into_iter().map(|(s, _)| (s.chan_ids, s.channels)).collect()
+}
+
+/// Executes one epoch with `workers` generation workers, bit-identical
+/// to the serial epoch body. Returns `(packets_delivered,
+/// packets_dropped)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_epoch_sharded(
+    workers: usize,
+    p: EpochParams,
+    hierarchy: &mut MemoryHierarchy,
+    bank: &mut CounterBank,
+    channels: &mut Channels,
+    tenants: &mut [Tenant],
+    masks: &[WayMask],
+) -> (u64, u64) {
+    let ranges = shard_ranges(tenants);
+    let nworkers = workers.min(ranges.len()).max(1);
+    let accrue = !hierarchy.stats_frozen();
+    let latency: LatencyModel = *hierarchy.latency();
+
+    // Wire one message/reply channel pair per shard, and lend each
+    // shard its channel subset.
+    let mut shard_rx: Vec<Receiver<GenMsg>> = Vec::with_capacity(ranges.len());
+    let mut reply_tx: Vec<Sender<GenReply>> = Vec::with_capacity(ranges.len());
+    let mut plumbing: Vec<(Sender<GenMsg>, Receiver<GenReply>)> = Vec::with_capacity(ranges.len());
+    for _ in &ranges {
+        let (mtx, mrx) = channel::<GenMsg>();
+        let (rtx, rrx) = channel::<GenReply>();
+        shard_rx.push(mrx);
+        reply_tx.push(rtx);
+        plumbing.push((mtx, rrx));
+    }
+
+    // Carve the tenant and mask slices into per-shard pieces (ranges
+    // are contiguous and in order) and group shards per worker.
+    let mut shards: Vec<(Shard<'_>, GenLane)> = Vec::with_capacity(ranges.len());
+    let mut rest_t = tenants;
+    let mut rest_m = masks;
+    let mut cursor = 0;
+    for (range, (mtx, rrx)) in ranges.iter().zip(plumbing) {
+        let (head_t, tail_t) = rest_t.split_at_mut(range.end - cursor);
+        let (head_m, tail_m) = rest_m.split_at(range.end - cursor);
+        rest_t = tail_t;
+        rest_m = tail_m;
+        cursor = range.end;
+        let mut chan_ids: Vec<iat_workloads::ChannelId> = Vec::new();
+        for t in head_t.iter() {
+            chan_ids.extend(t.workload.channel_ids());
+        }
+        chan_ids.sort_unstable();
+        chan_ids.dedup();
+        let shadow = channels.lend(&chan_ids);
+        shards.push((
+            Shard { tenants: head_t, masks: head_m, channels: shadow, chan_ids },
+            GenLane::new(mtx, rrx, accrue, latency),
+        ));
+    }
+
+    // Deal shards to workers in contiguous runs so worker order equals
+    // shard order (the merge loop's serving order).
+    let per = shards.len().div_ceil(nworkers);
+    let mut worker_loads: Vec<Vec<(Shard<'_>, GenLane)>> = Vec::with_capacity(nworkers);
+    let mut it = shards.into_iter();
+    for _ in 0..nworkers {
+        worker_loads.push(it.by_ref().take(per).collect());
+    }
+
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = worker_loads
+            .into_iter()
+            .filter(|load| !load.is_empty())
+            .map(|load| {
+                config::acquire_slot();
+                s.spawn(move || {
+                    let out = run_worker(load, p);
+                    config::release_slot();
+                    out
+                })
+            })
+            .collect();
+
+        // The merge loop: replay every shard's plans and windows in
+        // canonical order against the hierarchy.
+        for _ in 0..p.chunks {
+            for rx in &shard_rx {
+                match rx.recv().expect("generation worker hung up") {
+                    GenMsg::Phase1 { writes, delivered: d, dropped: dr } => {
+                        for addr in writes {
+                            hierarchy.batch_io_write(p.ddio, addr);
+                        }
+                        delivered += d;
+                        dropped += dr;
+                    }
+                    other => unreachable!("expected Phase1, got {other:?}"),
+                }
+            }
+            hierarchy.batch_flush();
+
+            for (rx, rtx) in shard_rx.iter().zip(&reply_tx) {
+                loop {
+                    match rx.recv().expect("generation worker hung up") {
+                        GenMsg::Window { core, agent, mask, observe, ops, mut scratch } => {
+                            if observe {
+                                phase::observe_ops(&ops);
+                            }
+                            hierarchy.core_access_cycles_batch(core, agent, mask, &ops, &mut scratch);
+                            rtx.send(GenReply { ops, costs: scratch })
+                                .expect("generation worker hung up");
+                        }
+                        GenMsg::SliceDone { core, result } => {
+                            if p.measured {
+                                bank.retire(core, result.instructions, p.budget);
+                            }
+                        }
+                        GenMsg::Phase2Done => break,
+                        other => unreachable!("expected phase-2 message, got {other:?}"),
+                    }
+                }
+            }
+
+            for rx in &shard_rx {
+                match rx.recv().expect("generation worker hung up") {
+                    GenMsg::Phase3 { reads } => {
+                        for addr in reads {
+                            hierarchy.batch_io_read(addr);
+                        }
+                    }
+                    other => unreachable!("expected Phase3, got {other:?}"),
+                }
+            }
+            hierarchy.batch_flush();
+        }
+
+        for h in handles {
+            for (chan_ids, shadow) in h.join().expect("generation worker panicked") {
+                channels.restore(&chan_ids, shadow);
+            }
+        }
+    });
+
+    (delivered, dropped)
+}

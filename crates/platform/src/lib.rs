@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod gen;
 mod platform;
 mod recorder;
 mod sampler;

@@ -545,6 +545,42 @@ impl Platform {
         let chunks = self.config.chunks.max(1) as u64;
         let dt = self.config.scaled_epoch_ns() / chunks;
         let budget = self.config.cycle_budget() / chunks;
+
+        // Tenant-parallel front end: with generation workers granted,
+        // shard the per-tenant generation onto a worker pool and merge
+        // the resulting plans/windows here in canonical order —
+        // bit-identical to the serial body below by construction (see
+        // the `gen` module and DESIGN.md §6.4).
+        let workers = iat_cachesim::config::gen_workers();
+        if workers >= 1 && !self.tenants.is_empty() {
+            let params = crate::gen::EpochParams {
+                chunks,
+                dt,
+                budget,
+                measured,
+                ddio: self.rdt.ddio_mask(),
+            };
+            let masks: Vec<_> =
+                self.tenants.iter().map(|t| self.rdt.clos_mask(t.clos)).collect();
+            let (delivered, dropped) = crate::gen::exec_epoch_sharded(
+                workers,
+                params,
+                &mut self.hierarchy,
+                &mut self.bank,
+                &mut self.channels,
+                &mut self.tenants,
+                &masks,
+            );
+            if measured {
+                self.time_ns += self.config.epoch_ns;
+            }
+            return EpochReport {
+                time_ns: self.time_ns,
+                packets_delivered: delivered,
+                packets_dropped: dropped,
+            };
+        }
+
         let mut delivered = 0u64;
         let mut dropped = 0u64;
 
@@ -578,7 +614,7 @@ impl Platform {
                 let mask = self.rdt.clos_mask(t.clos);
                 for &core in &t.cores {
                     let mut ctx = ExecCtx {
-                        hierarchy: &mut self.hierarchy,
+                        cache: (&mut self.hierarchy).into(),
                         channels: &mut self.channels,
                         core,
                         agent: t.agent,

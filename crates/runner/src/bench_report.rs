@@ -35,7 +35,13 @@ use serde_json::{json, Value};
 /// v5: `phase_ns` gains `fast_warm` (compile-time cold-start
 /// fast-forward) and `restore` (convergence-checkpoint restores) for a
 /// seven-key breakdown.
-pub const BENCH_SCHEMA: &str = "iat-bench-repro/v5";
+///
+/// v6: the `gen_workers` front-end policy the sweep ran under is
+/// recorded (null = auto), and every figure carries a `job_wall_s`
+/// object mapping each of its job names to that job's wall seconds —
+/// the per-job scheduling hint that keeps split sweeps (per-point
+/// leaves vs. cheap merge jobs) ordered longest-first.
+pub const BENCH_SCHEMA: &str = "iat-bench-repro/v6";
 
 /// Schema tag for one `BENCH_history.jsonl` line (see [`history_record`]).
 ///
@@ -67,6 +73,7 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
         skipped: u64,
         ok: bool,
         phases: PhaseBreakdown,
+        job_walls: Vec<(String, f64)>,
     }
     let mut figures: Vec<Group> = Vec::new();
     for r in &out.reports {
@@ -80,6 +87,7 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
                 g.skipped += r.skipped_epochs;
                 g.ok &= r.outcome == Outcome::Ok;
                 g.phases.add(&r.phases);
+                g.job_walls.push((r.name.clone(), wall));
             }
             None => figures.push(Group {
                 figure: r.group.clone(),
@@ -90,6 +98,7 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
                 skipped: r.skipped_epochs,
                 ok: r.outcome == Outcome::Ok,
                 phases: r.phases,
+                job_walls: vec![(r.name.clone(), wall)],
             }),
         }
     }
@@ -110,6 +119,11 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
     let figures: Vec<Value> = figures
         .into_iter()
         .map(|g| {
+            let job_wall_s: serde_json::Map<String, Value> = g
+                .job_walls
+                .iter()
+                .map(|(name, w)| (name.clone(), json!(w)))
+                .collect();
             let mut fig = json!({
                 "figure": g.figure,
                 "jobs": g.jobs,
@@ -118,6 +132,7 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
                 "sampled": g.sampled,
                 "skipped_epochs": g.skipped,
                 "phase_ns": g.phases.to_json(),
+                "job_wall_s": job_wall_s,
                 "ok": g.ok,
             });
             if g.accesses > 0 {
@@ -133,6 +148,7 @@ pub fn bench_report(out: &RunOutput, opts: &RunOptions, profile: &str) -> Value 
         "sampled": opts.sampled,
         "jobs": opts.jobs,
         "slice_workers": opts.slice_workers,
+        "gen_workers": opts.gen_workers,
         "root_seed": opts.root_seed,
         "wall_s": out.wall.as_secs_f64(),
         "aggregate_job_cost_s": busy,
@@ -190,6 +206,27 @@ pub fn expected_costs(doc: &Value) -> Vec<(String, f64)> {
         .unwrap_or_default()
 }
 
+/// Extracts the previous per-*job* wall costs from a v6 bench report
+/// (every figure's `job_wall_s` object flattened), for
+/// [`RunOptions::expected_job_costs`]. Pre-v6 reports carry no
+/// `job_wall_s` and yield an empty list — scheduling then falls back to
+/// the per-group spread of [`expected_costs`].
+pub fn expected_job_costs(doc: &Value) -> Vec<(String, f64)> {
+    let mut costs = Vec::new();
+    if let Some(figs) = doc["figures"].as_array() {
+        for f in figs {
+            if let Some(jobs) = f["job_wall_s"].as_object() {
+                for (name, wall) in jobs {
+                    if let Some(w) = wall.as_f64().filter(|w| w.is_finite() && *w >= 0.0) {
+                        costs.push((name.clone(), w));
+                    }
+                }
+            }
+        }
+    }
+    costs
+}
+
 /// Builds the one-line `BENCH_history.jsonl` record for a sweep: the
 /// report's headline numbers, without the per-figure breakdown, so the
 /// file accumulates one compact line per run.
@@ -205,6 +242,7 @@ pub fn history_record(report: &Value) -> Value {
         "mode": if report["sampled"] == json!(true) { "sampled" } else { "exact" },
         "jobs": report["jobs"],
         "slice_workers": report["slice_workers"],
+        "gen_workers": report["gen_workers"],
         "root_seed": report["root_seed"],
         "wall_s": report["wall_s"],
         "aggregate_job_cost_s": report["aggregate_job_cost_s"],
@@ -213,6 +251,49 @@ pub fn history_record(report: &Value) -> Value {
         "figures": report["figures"].as_array().map_or(0, Vec::len),
         "ok": ok,
     })
+}
+
+/// Builds one `BENCH_history.jsonl` record per corpus class from a
+/// corpus run's bench report plus its validated `corpus_summary.json`.
+///
+/// Each line carries the standard headline fields (so
+/// [`validate_history`] accepts it) scoped to that class's figure group
+/// (`corpus-<class>` wall/accesses), plus `corpus_class`, `scenarios`,
+/// and the class's mean metrics — the trajectory of the generated
+/// corpus accumulates next to the figure sweep's without the two being
+/// conflated (filter on `corpus_class`).
+pub fn corpus_history_records(report: &Value, summary: &Value) -> Vec<Value> {
+    let Some(classes) = summary["classes"].as_array() else {
+        return Vec::new();
+    };
+    classes
+        .iter()
+        .filter_map(|c| {
+            let class = c["class"].as_str()?;
+            let mut line = history_record(report);
+            let group = format!("corpus-{class}");
+            if let Some(fig) = report["figures"]
+                .as_array()
+                .and_then(|figs| figs.iter().find(|f| f["figure"].as_str() == Some(&*group)))
+            {
+                line["wall_s"] = fig["wall_s"].clone();
+                line["aggregate_job_cost_s"] = fig["wall_s"].clone();
+                line["accesses"] = fig["accesses"].clone();
+                line["accesses_per_s"] = match fig["accesses_per_s"].as_f64() {
+                    Some(v) => json!(v),
+                    None => json!(0.0),
+                };
+                line["figures"] = json!(1);
+                line["ok"] = fig["ok"].clone();
+            }
+            line["corpus_class"] = json!(class);
+            line["scenarios"] = c["scenarios"].clone();
+            for key in ["mean_ops_per_s", "mean_ddio_hit_rate", "mean_mem_gbps", "mean_ipc"] {
+                line[key] = c[key].clone();
+            }
+            Some(line)
+        })
+        .collect()
 }
 
 /// Validates one `BENCH_history.jsonl` record.
@@ -245,6 +326,21 @@ pub fn validate_history(line: &Value) -> Result<(), String> {
     }
     if !line["slice_workers"].is_null() && line["slice_workers"].as_u64().is_none() {
         return Err("slice_workers must be null or a non-negative integer".into());
+    }
+    // `gen_workers` arrived with repro schema v6; tolerate its absence
+    // so pre-existing history files still validate line by line.
+    if !line["gen_workers"].is_null() && line["gen_workers"].as_u64().is_none() {
+        return Err("gen_workers must be null or a non-negative integer".into());
+    }
+    // Corpus-class lines (see [`corpus_history_records`]) additionally
+    // carry the class name and scenario count.
+    if !line["corpus_class"].is_null() {
+        if line["corpus_class"].as_str().is_none() {
+            return Err("corpus_class must be a string when present".into());
+        }
+        if line["scenarios"].as_u64().is_none() {
+            return Err("corpus lines must carry a scenario count".into());
+        }
     }
     for key in ["jobs", "root_seed", "accesses", "figures"] {
         if line[key].as_u64().is_none() {
@@ -403,6 +499,9 @@ pub fn validate(doc: &Value) -> Result<(), String> {
     if !doc["slice_workers"].is_null() && doc["slice_workers"].as_u64().is_none() {
         return Err("slice_workers must be null (auto) or a non-negative integer".into());
     }
+    if !doc["gen_workers"].is_null() && doc["gen_workers"].as_u64().is_none() {
+        return Err("gen_workers must be null (auto) or a non-negative integer".into());
+    }
     for key in ["jobs", "root_seed", "accesses", "skipped_epochs"] {
         if doc[key].as_u64().is_none() {
             return Err(format!("{key} must be a non-negative integer"));
@@ -432,6 +531,26 @@ pub fn validate(doc: &Value) -> Result<(), String> {
             return Err(format!("figure {}: sampled must be a boolean", f["figure"]));
         }
         validate_phase_ns(&f["phase_ns"], &format!("figure {}", f["figure"]))?;
+        let job_walls = f["job_wall_s"]
+            .as_object()
+            .ok_or_else(|| format!("figure {}: job_wall_s must be an object", f["figure"]))?;
+        if job_walls.len() as u64 != f["jobs"].as_u64().unwrap_or(0) {
+            return Err(format!(
+                "figure {}: job_wall_s must hold one entry per job",
+                f["figure"]
+            ));
+        }
+        for (name, wall) in job_walls {
+            match wall.as_f64() {
+                Some(v) if v.is_finite() && v >= 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "figure {}: job_wall_s[{name:?}] must be a finite non-negative number",
+                        f["figure"]
+                    ))
+                }
+            }
+        }
         // Sampling is a run-level opt-in: an exact report must not
         // contain sampled figures or fast-forwarded epochs, and the
         // error fields only make sense on sampled figures.
@@ -619,6 +738,58 @@ mod tests {
     }
 
     #[test]
+    fn job_wall_s_round_trips_into_expected_job_costs() {
+        let out = fake_output();
+        let doc = bench_report(&out, &RunOptions::default(), "release");
+        // figX has a leaf and a merge job; both appear with their own
+        // wall seconds.
+        assert_eq!(doc["figures"][0]["job_wall_s"]["figX/a"].as_f64(), Some(0.25));
+        assert_eq!(doc["figures"][0]["job_wall_s"]["figX"].as_f64(), Some(0.05));
+        let costs = expected_job_costs(&doc);
+        assert_eq!(costs.len(), 4, "one entry per job across all figures");
+        let cost_of = |name: &str| {
+            costs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, w)| *w)
+                .expect("job present")
+        };
+        assert!((cost_of("figX/a") - 0.25).abs() < 1e-9);
+        assert!((cost_of("tableZ") - 0.01).abs() < 1e-9);
+        assert!(expected_job_costs(&serde_json::json!({})).is_empty());
+        // A report whose job_wall_s doesn't cover every job is rejected.
+        let mut with_bad_walls = |walls: Value| {
+            let mut bad = doc.clone();
+            let figs = bad["figures"].as_array_mut().unwrap();
+            figs[0]["job_wall_s"] = walls;
+            validate(&bad)
+        };
+        assert!(with_bad_walls(serde_json::json!({"figX/a": 0.25})).is_err());
+        assert!(
+            with_bad_walls(serde_json::json!({"figX/a": 0.25, "figX": "slow"})).is_err()
+        );
+    }
+
+    #[test]
+    fn gen_workers_is_recorded_and_validated() {
+        let out = fake_output();
+        let opts = RunOptions { gen_workers: Some(2), ..RunOptions::default() };
+        let doc = bench_report(&out, &opts, "release");
+        validate(&doc).expect("report with gen_workers must validate");
+        assert_eq!(doc["gen_workers"], 2);
+        let line = history_record(&doc);
+        validate_history(&line).expect("history line with gen_workers must validate");
+        assert_eq!(line["gen_workers"], 2);
+        let auto = bench_report(&out, &RunOptions::default(), "release");
+        assert!(auto["gen_workers"].is_null(), "auto policy records null");
+        assert!(validate(&with_field(&doc, "gen_workers", serde_json::json!(-1))).is_err());
+        assert!(
+            validate_history(&with_field(&line, "gen_workers", serde_json::json!("many")))
+                .is_err()
+        );
+    }
+
+    #[test]
     fn history_record_round_trips() {
         let out = fake_output();
         let opts = RunOptions { slice_workers: Some(4), ..RunOptions::default() };
@@ -639,6 +810,51 @@ mod tests {
         );
         assert!(validate_history(&with_field(&line, "mode", serde_json::json!("turbo"))).is_err());
         assert!(validate_history(&with_field(&line, "mode", Value::Null)).is_err());
+    }
+
+    #[test]
+    fn corpus_history_records_scope_to_class_figures() {
+        let out = RunOutput {
+            reports: vec![
+                fake_report("corpus/churn-0000", "corpus-churn", Outcome::Ok, 200, 500),
+                fake_report("corpus/churn", "corpus-churn", Outcome::Ok, 20, 0),
+                fake_report("corpus/burst-0001", "corpus-burst", Outcome::Ok, 100, 300),
+                fake_report("corpus/burst", "corpus-burst", Outcome::Ok, 10, 0),
+            ],
+            stdout: String::new(),
+            files: Vec::new(),
+            metrics: iat_telemetry::Metrics::new(),
+            wall: Duration::from_millis(330),
+        };
+        let report = bench_report(&out, &RunOptions::default(), "release");
+        let summary = serde_json::json!({
+            "classes": [
+                {"class": "churn", "scenarios": 1, "mean_ops_per_s": 1.5e6,
+                 "mean_ddio_hit_rate": 0.9, "mean_mem_gbps": 2.0, "mean_ipc": 1.1},
+                {"class": "burst", "scenarios": 1, "mean_ops_per_s": 2.5e6,
+                 "mean_ddio_hit_rate": 0.8, "mean_mem_gbps": 3.0, "mean_ipc": 0.9},
+            ],
+        });
+        let lines = corpus_history_records(&report, &summary);
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            validate_history(line).expect("corpus class line must validate");
+        }
+        assert_eq!(lines[0]["corpus_class"], "churn");
+        assert_eq!(lines[0]["scenarios"], 1);
+        assert_eq!(lines[0]["mean_ops_per_s"], 1.5e6);
+        // Wall and accesses are the class figure group's, not the run's.
+        assert!((lines[0]["wall_s"].as_f64().unwrap() - 0.22).abs() < 1e-9);
+        assert_eq!(lines[0]["accesses"], 500);
+        assert_eq!(lines[1]["corpus_class"], "burst");
+        assert_eq!(lines[1]["accesses"], 300);
+        // Malformed corpus lines are rejected.
+        let mut bad = lines[0].clone();
+        bad["scenarios"] = Value::Null;
+        assert!(validate_history(&bad).is_err());
+        bad["corpus_class"] = serde_json::json!(7);
+        assert!(validate_history(&bad).is_err());
+        assert!(corpus_history_records(&report, &serde_json::json!({})).is_empty());
     }
 
     #[test]

@@ -26,8 +26,10 @@ impl Default for RunOptions {
             smoke: false,
             root_seed: 0,
             slice_workers: None,
+            gen_workers: None,
             sampled: false,
             expected_costs: Vec::new(),
+            expected_job_costs: Vec::new(),
             trace_out: None,
         }
     }
@@ -44,9 +46,9 @@ pub const USAGE: &str = "\
 repro — regenerate every figure/table capture under results/
 
 USAGE:
-    repro [--jobs N] [--slice-workers N] [--only NAME]... [--sampled]
-          [--smoke] [--check] [--seed N] [--corpus N] [--trace-out PATH]
-          [--list]
+    repro [--jobs N] [--slice-workers N] [--gen-workers N] [--only NAME]...
+          [--sampled] [--smoke] [--check] [--seed N] [--corpus N]
+          [--trace-out PATH] [--list]
 
 OPTIONS:
     --jobs N     worker threads (default: min(cores, 8)); output is
@@ -55,6 +57,13 @@ OPTIONS:
                  LLC batch pipeline policy: 0 = serial reference oracle,
                  N >= 1 = batched with N slice workers per flush
                  (default: auto — sized from the spare core budget);
+                 output is byte-identical for every setting
+    --gen-workers N
+                 tenant-parallel front end: 0 = serial generation (the
+                 oracle), N >= 1 = shard tenants across N generation
+                 workers that pre-build traffic plans and access windows
+                 merged in canonical order (default: auto — sized from
+                 the spare core budget, 0 when --jobs consumes it);
                  output is byte-identical for every setting
     --only NAME  run one figure group (e.g. fig12) or a single job
                  (e.g. fig12/rocksdb); repeatable
@@ -108,6 +117,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String
                     v.parse::<u32>()
                         .map_err(|_| format!("bad --slice-workers value {v:?}"))?,
                 );
+            }
+            "--gen-workers" => {
+                let v = it.next().ok_or("--gen-workers needs a value")?;
+                cli.opts.gen_workers = if v == "auto" {
+                    None
+                } else {
+                    Some(
+                        v.parse::<u32>()
+                            .map_err(|_| format!("bad --gen-workers value {v:?}"))?,
+                    )
+                };
             }
             "--only" => {
                 cli.opts.only.push(it.next().ok_or("--only needs a value")?);
@@ -177,6 +197,19 @@ mod tests {
         assert_eq!(cli.opts.slice_workers, Some(4));
         assert!(parse_args(["--slice-workers".to_owned(), "-1".to_owned()]).is_err());
         assert!(parse_args(["--slice-workers".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn parses_gen_workers() {
+        let cli = parse_args(["--gen-workers".to_owned(), "0".to_owned()]).unwrap();
+        assert_eq!(cli.opts.gen_workers, Some(0));
+        let cli = parse_args(["--gen-workers".to_owned(), "4".to_owned()]).unwrap();
+        assert_eq!(cli.opts.gen_workers, Some(4));
+        let cli = parse_args(["--gen-workers".to_owned(), "auto".to_owned()]).unwrap();
+        assert_eq!(cli.opts.gen_workers, None);
+        assert_eq!(parse_args(Vec::new()).unwrap().opts.gen_workers, None, "default is auto");
+        assert!(parse_args(["--gen-workers".to_owned(), "-1".to_owned()]).is_err());
+        assert!(parse_args(["--gen-workers".to_owned()]).is_err());
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub struct RunOptions {
     /// batch with exactly `n` flush workers. Results are byte-identical
     /// for every setting.
     pub slice_workers: Option<u32>,
+    /// Tenant-parallel front-end policy forwarded to
+    /// `iat_cachesim::config`: `None` = auto (sized from the spare
+    /// worker-slot budget, 0 when `--jobs` consumes it), `Some(0)` =
+    /// serial generation (the oracle), `Some(n)` = shard tenants across
+    /// `n` generation workers per platform. Results are byte-identical
+    /// for every setting.
+    pub gen_workers: Option<u32>,
     /// Phase-aware interval sampling: jobs that declared eligibility
     /// ([`crate::JobSpec::sampled`]) run the sampled execution path.
     /// Unlike `slice_workers` this changes *outputs* (they become
@@ -39,6 +46,13 @@ pub struct RunOptions {
     /// the tail of the sweep. Purely a scheduling hint: output order and
     /// bytes are unaffected.
     pub expected_costs: Vec<(String, f64)>,
+    /// Previous per-*job* wall costs in seconds (schema v6 bench
+    /// reports carry them as `job_wall_s`). More precise than the
+    /// per-group spread of `expected_costs`: once the big figures are
+    /// split into per-sweep-point leaves, the merge job and the point
+    /// jobs have very different costs and scheduling should know.
+    /// Jobs absent here fall back to the group estimate.
+    pub expected_job_costs: Vec<(String, f64)>,
     /// When set, span tracing and decision capture are armed for the
     /// run and the Chrome trace-event JSON is written to this path
     /// (load it in Perfetto / `chrome://tracing`). Observational only:
@@ -235,6 +249,7 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
 
     let started = Instant::now();
     iat_cachesim::config::set_slice_workers(opts.slice_workers);
+    iat_cachesim::config::set_gen_workers(opts.gen_workers);
     crate::checkpoint::reset_counters();
     let include = select(&reg, opts);
     let index: BTreeMap<String, usize> = reg
@@ -271,6 +286,15 @@ pub fn run(mut reg: Registry, opts: &RunOptions) -> RunOutput {
         .map(|(i, j)| {
             if !include[i] {
                 return 0;
+            }
+            // Per-job history wins; the per-group spread is the
+            // fallback for jobs (or whole groups) without one.
+            if let Some((_, cost)) = opts
+                .expected_job_costs
+                .iter()
+                .find(|(name, _)| name == &j.name)
+            {
+                return (cost.max(0.0) * 1e6) as u64;
             }
             opts.expected_costs
                 .iter()
@@ -592,10 +616,10 @@ pub fn print_summary(out: &RunOutput, expected: &[(String, f64)]) {
     }
     progress("");
     progress(
-        "figure        jobs      cost   accesses   acc/s  vs prev  setup/warm/fwarm/rest/meas/flush/merge",
+        "figure        jobs      cost   accesses   acc/s  vs prev  front/flush  setup/warm/fwarm/rest/meas/flush/merge",
     );
     progress(
-        "----------------------------------------------------------------------------------------------",
+        "---------------------------------------------------------------------------------------------------------",
     );
     let mut busy = Duration::ZERO;
     let mut total_accesses = 0u64;
@@ -622,14 +646,28 @@ pub fn print_summary(out: &RunOutput, expected: &[(String, f64)]) {
                 format!("{:.1}x", prev / wall.as_secs_f64().max(1e-9))
             });
         let s = |ns: u64| format!("{:.1}", ns as f64 / 1e9);
+        // Front end = epoch time the generation side spent (traffic,
+        // workload access streams, window resolution); flush nests
+        // inside the epoch buckets, so the difference is the
+        // generation-vs-writeback split the sharded front end targets.
+        let epoch_ns = phases.warmup_ns
+            + phases.fast_warm_ns
+            + phases.restore_ns
+            + phases.measure_ns;
+        let front_flush = format!(
+            "{}/{} s",
+            s(epoch_ns.saturating_sub(phases.flush_ns)),
+            s(phases.flush_ns)
+        );
         progress(&format!(
-            "{:<12} {:>5} {:>7.2} s {:>8} {:>7} {:>7}  {:>37}{}{}",
+            "{:<12} {:>5} {:>7.2} s {:>8} {:>7} {:>7}  {:>11}  {:>37}{}{}",
             group,
             jobs,
             wall.as_secs_f64(),
             acc_col,
             rate_col,
             delta_col,
+            front_flush,
             format!(
                 "{}/{}/{}/{}/{}/{}/{} s",
                 s(phases.setup_ns),
@@ -645,7 +683,7 @@ pub fn print_summary(out: &RunOutput, expected: &[(String, f64)]) {
         ));
     }
     progress(
-        "----------------------------------------------------------------------------------------------",
+        "---------------------------------------------------------------------------------------------------------",
     );
     let (restores, computes) = crate::checkpoint::counters();
     if restores + computes > 0 {

@@ -139,6 +139,16 @@ impl JobCtx {
         derive_seed(self.root_seed, &self.job, tag)
     }
 
+    /// The deterministic seed *another* job `job` would get for `tag`.
+    ///
+    /// Sweep-point leaves split out of a bigger job use this with the
+    /// original job's name so the scenarios they build keep the exact
+    /// seeds of the unsplit sweep — committed captures stay
+    /// byte-identical across the refactor.
+    pub fn seed_of(&self, job: &str, tag: &str) -> u64 {
+        derive_seed(self.root_seed, job, tag)
+    }
+
     /// Whether this is a `--smoke` run.
     pub fn smoke(&self) -> bool {
         self.smoke

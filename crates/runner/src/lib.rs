@@ -37,7 +37,8 @@ mod job;
 pub mod seed;
 
 pub use bench_report::{
-    attach_sample_errors, bench_report, expected_costs, history_record, trajectory_eligible,
+    attach_sample_errors, bench_report, corpus_history_records, expected_costs,
+    expected_job_costs, history_record, trajectory_eligible,
     trajectory_update, validate as validate_bench_report, validate_history, validate_trajectory,
     BENCH_SCHEMA, HISTORY_SCHEMA, TRAJECTORY_SCHEMA,
 };

@@ -30,7 +30,13 @@ pub struct ChannelEcho {
 impl ChannelEcho {
     /// Creates an echo tenant reading from `rx` and writing to `tx`.
     pub fn new(rx: ChannelId, tx: ChannelId) -> Self {
-        ChannelEcho { rx, tx, forwarded: 0, drops: 0, latency: LatencySampler::new(0xec40) }
+        ChannelEcho {
+            rx,
+            tx,
+            forwarded: 0,
+            drops: 0,
+            latency: LatencySampler::new(0xec40),
+        }
     }
 
     /// Packets bounced so far.
@@ -52,6 +58,10 @@ impl Workload for ChannelEcho {
         WorkloadKind::Network
     }
 
+    fn channel_ids(&self) -> Vec<ChannelId> {
+        vec![self.rx, self.tx]
+    }
+
     fn run(&mut self, ctx: &mut ExecCtx<'_>) -> ExecResult {
         let core = ctx.core;
         let agent = ctx.agent;
@@ -60,7 +70,7 @@ impl Workload for ChannelEcho {
         let mut instructions = 0u64;
         let accrue = ctx.accrue();
         while used < ctx.cycle_budget {
-            let h = &mut *ctx.hierarchy;
+            let cache = &mut ctx.cache;
             let channels = &mut *ctx.channels;
             let rx = &mut channels.get_mut(self.rx).ring;
             let Some((idx, slot)) = rx.pop() else {
@@ -72,10 +82,11 @@ impl Workload for ChannelEcho {
             let buf = slot.ext_buf.unwrap_or_else(|| rx.buf_addr(idx));
             let mut cost = PKT_CYCLES;
             // Touch the header, re-post zero-copy.
-            cost += h.core_access_cycles(core, agent, mask, buf, CoreOp::Read) as u64;
+            cost += cache.access_cycles(core, agent, mask, buf, CoreOp::Read) as u64;
             let tx = &mut channels.get_mut(self.tx).ring;
-            let pushed =
-                tx.push(PacketSlot::with_ext_buf(slot.flow, slot.size, buf)).is_some();
+            let pushed = tx
+                .push(PacketSlot::with_ext_buf(slot.flow, slot.size, buf))
+                .is_some();
             if accrue {
                 if pushed {
                     self.forwarded += 1;
@@ -87,7 +98,10 @@ impl Workload for ChannelEcho {
             used += cost;
             instructions += PKT_INSTR;
         }
-        ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) }
+        ExecResult {
+            instructions,
+            cycles_used: used.min(ctx.cycle_budget),
+        }
     }
 
     fn metrics(&self) -> WorkloadMetrics {
@@ -120,9 +134,12 @@ mod tests {
         let rx = ch.add(RxRing::new(0x8000_0000, 16, 2048));
         let tx = ch.add(RxRing::new(0x9000_0000, 16, 2048));
         let mut echo = ChannelEcho::new(rx, tx);
-        ch.get_mut(rx).ring.push(PacketSlot::new(FlowId(1), 256)).unwrap();
+        ch.get_mut(rx)
+            .ring
+            .push(PacketSlot::new(FlowId(1), 256))
+            .unwrap();
         let mut ctx = ExecCtx {
-            hierarchy: &mut h,
+            cache: (&mut h).into(),
             channels: &mut ch,
             core: 0,
             agent: AgentId::new(0),
@@ -144,10 +161,13 @@ mod tests {
         let tx = ch.add(RxRing::new(0x9000_0000, 1, 2048));
         let mut echo = ChannelEcho::new(rx, tx);
         for _ in 0..3 {
-            ch.get_mut(rx).ring.push(PacketSlot::new(FlowId(0), 64)).unwrap();
+            ch.get_mut(rx)
+                .ring
+                .push(PacketSlot::new(FlowId(0), 64))
+                .unwrap();
         }
         let mut ctx = ExecCtx {
-            hierarchy: &mut h,
+            cache: (&mut h).into(),
             channels: &mut ch,
             core: 0,
             agent: AgentId::new(0),

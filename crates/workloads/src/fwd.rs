@@ -356,7 +356,7 @@ mod tests {
     fn run<W: Workload>(h: &mut MemoryHierarchy, w: &mut W, budget: u64) -> ExecResult {
         let mut ch = Channels::new();
         let mut ctx = ExecCtx {
-            hierarchy: h,
+            cache: h.into(),
             channels: &mut ch,
             core: 0,
             agent: AgentId::new(0),

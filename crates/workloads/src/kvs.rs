@@ -30,7 +30,11 @@ pub struct KvConfig {
 
 impl Default for KvConfig {
     fn default() -> Self {
-        KvConfig { records: 1_000_000, value_bytes: 1024, scan_len: 8 }
+        KvConfig {
+            records: 1_000_000,
+            value_bytes: 1024,
+            scan_len: 8,
+        }
     }
 }
 
@@ -62,7 +66,14 @@ impl KvStore {
     /// # Panics
     ///
     /// Panics if `config.records` is zero.
-    pub fn new(rx: ChannelId, tx: ChannelId, base: u64, config: KvConfig, mix: YcsbMix, seed: u64) -> Self {
+    pub fn new(
+        rx: ChannelId,
+        tx: ChannelId,
+        base: u64,
+        config: KvConfig,
+        mix: YcsbMix,
+        seed: u64,
+    ) -> Self {
         assert!(config.records > 0, "store needs at least one record");
         let buckets = HashRegion::new(base, config.records, 1);
         let values_base = base + buckets.footprint_bytes() + (1 << 20);
@@ -126,6 +137,10 @@ impl Workload for KvStore {
         WorkloadKind::Network
     }
 
+    fn channel_ids(&self) -> Vec<ChannelId> {
+        vec![self.rx, self.tx]
+    }
+
     fn run(&mut self, ctx: &mut ExecCtx<'_>) -> ExecResult {
         let core = ctx.core;
         let agent = ctx.agent;
@@ -134,7 +149,7 @@ impl Workload for KvStore {
         let mut instructions = 0u64;
         let accrue = ctx.accrue();
         while used < ctx.cycle_budget {
-            let h = &mut *ctx.hierarchy;
+            let cache = &mut ctx.cache;
             let channels = &mut *ctx.channels;
             let rx = &mut channels.get_mut(self.rx).ring;
             let Some((ridx, req)) = rx.pop() else {
@@ -146,11 +161,15 @@ impl Workload for KvStore {
             let key = req.flow.0 as u64 % self.config.records;
             let mut cost = REQ_CYCLES;
             // Parse the request (header line of the channel buffer).
-            cost += h.core_access_cycles(core, agent, mask, rx.buf_addr(ridx), CoreOp::Read) as u64;
+            cost += cache.access_cycles(core, agent, mask, rx.buf_addr(ridx), CoreOp::Read) as u64;
             // Hash-bucket probe.
-            cost += h
-                .core_access_cycles(core, agent, mask, self.buckets.entry_line(key, 0), CoreOp::Read)
-                as u64;
+            cost += cache.access_cycles(
+                core,
+                agent,
+                mask,
+                self.buckets.entry_line(key, 0),
+                CoreOp::Read,
+            ) as u64;
             let u = self.next_uniform();
             let op = self.mix.pick(u);
             let vlines = self.value_lines();
@@ -169,15 +188,23 @@ impl Workload for KvStore {
             for &k in &touch_keys {
                 let vaddr = self.value_addr(k);
                 for l in 0..vlines {
-                    cost += h
-                        .core_access_cycles(core, agent, mask, vaddr + l * LINE_BYTES, CoreOp::Read)
-                        as u64;
+                    cost += cache.access_cycles(
+                        core,
+                        agent,
+                        mask,
+                        vaddr + l * LINE_BYTES,
+                        CoreOp::Read,
+                    ) as u64;
                 }
                 if writes {
                     for l in 0..vlines {
-                        cost += h
-                            .core_access_cycles(core, agent, mask, vaddr + l * LINE_BYTES, CoreOp::Write)
-                            as u64;
+                        cost += cache.access_cycles(
+                            core,
+                            agent,
+                            mask,
+                            vaddr + l * LINE_BYTES,
+                            CoreOp::Write,
+                        ) as u64;
                     }
                 } else {
                     resp_bytes += self.config.value_bytes;
@@ -185,8 +212,7 @@ impl Workload for KvStore {
             }
             // RMW reads back what it wrote before responding.
             if op == OpKind::ReadModifyWrite {
-                cost += h
-                    .core_access_cycles(core, agent, mask, self.value_addr(key), CoreOp::Read)
+                cost += cache.access_cycles(core, agent, mask, self.value_addr(key), CoreOp::Read)
                     as u64;
             }
             // Build and enqueue the response.
@@ -194,9 +220,9 @@ impl Workload for KvStore {
             if let Some(tidx) = txc.push(PacketSlot::new(req.flow, resp_bytes.min(1500))) {
                 let dst = txc.buf_addr(tidx);
                 for l in 0..iat_cachesim::lines_for(resp_bytes.min(1500) as u64) {
-                    cost += h
-                        .core_access_cycles(core, agent, mask, dst + l * LINE_BYTES, CoreOp::Write)
-                        as u64;
+                    cost +=
+                        cache.access_cycles(core, agent, mask, dst + l * LINE_BYTES, CoreOp::Write)
+                            as u64;
                 }
             }
             used += cost;
@@ -209,7 +235,10 @@ impl Workload for KvStore {
                 }
             }
         }
-        ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) }
+        ExecResult {
+            instructions,
+            cycles_used: used.min(ctx.cycle_budget),
+        }
     }
 
     fn metrics(&self) -> WorkloadMetrics {
@@ -244,7 +273,11 @@ mod tests {
             rx,
             tx,
             0xA000_0000,
-            KvConfig { records: 1000, value_bytes: 256, scan_len: 4 },
+            KvConfig {
+                records: 1000,
+                value_bytes: 256,
+                scan_len: 4,
+            },
             mix,
             7,
         );
@@ -252,12 +285,15 @@ mod tests {
     }
 
     fn request(ch: &mut Channels, kv: &KvStore, key: u32) {
-        ch.get_mut(kv.rx).ring.push(PacketSlot::new(FlowId(key), 64)).unwrap();
+        ch.get_mut(kv.rx)
+            .ring
+            .push(PacketSlot::new(FlowId(key), 64))
+            .unwrap();
     }
 
     fn run(h: &mut MemoryHierarchy, ch: &mut Channels, kv: &mut KvStore, budget: u64) {
         let mut ctx = ExecCtx {
-            hierarchy: h,
+            cache: h.into(),
             channels: ch,
             core: 0,
             agent: AgentId::new(0),

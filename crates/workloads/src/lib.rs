@@ -30,6 +30,7 @@
 mod ctx;
 mod echo;
 mod fwd;
+pub mod gen;
 mod kvs;
 mod latency;
 mod nfchain;
@@ -42,8 +43,8 @@ mod window;
 mod xmem;
 mod ycsb;
 
-pub use ctx::{Channel, ChannelId, Channels, ExecCtx, ExecResult, Workload, WorkloadKind,
-              WorkloadMetrics};
+pub use ctx::{CacheBackend, Channel, ChannelId, Channels, ExecCtx, ExecResult, Workload,
+              WorkloadKind, WorkloadMetrics};
 pub use echo::ChannelEcho;
 pub use fwd::{L3Fwd, TestPmd};
 pub use kvs::{KvConfig, KvStore};

@@ -9,10 +9,11 @@
 //! *copied* into the destination tenant's virtio-style channel (one copy
 //! per direction, as vhost does).
 
-use crate::ctx::{ChannelId, ExecCtx, ExecResult, Workload, WorkloadKind, WorkloadMetrics};
+use crate::ctx::{CacheBackend, ChannelId, ExecCtx, ExecResult, Workload, WorkloadKind,
+                 WorkloadMetrics};
 use crate::latency::LatencySampler;
 use crate::region::HashRegion;
-use iat_cachesim::{AgentId, CoreOp, MemoryHierarchy, WayMask, LINE_BYTES};
+use iat_cachesim::{AgentId, CoreOp, WayMask, LINE_BYTES};
 use iat_netsim::{PacketSlot, VirtualFunction};
 
 /// Cycles per empty poll iteration.
@@ -48,7 +49,10 @@ pub struct OvsConfig {
 
 impl Default for OvsConfig {
     fn default() -> Self {
-        OvsConfig { emc_entries: 8192, megaflow_entries: 1 << 20 }
+        OvsConfig {
+            emc_entries: 8192,
+            megaflow_entries: 1 << 20,
+        }
     }
 }
 
@@ -86,7 +90,10 @@ impl OvsSwitch {
         config: OvsConfig,
     ) -> Self {
         assert!(!ports.is_empty(), "switch needs at least one port");
-        assert!(!attachments.is_empty(), "switch needs at least one attachment");
+        assert!(
+            !attachments.is_empty(),
+            "switch needs at least one attachment"
+        );
         OvsSwitch {
             ports,
             attachments,
@@ -116,7 +123,7 @@ impl OvsSwitch {
     #[allow(clippy::too_many_arguments)]
     fn lookup(
         &mut self,
-        h: &mut MemoryHierarchy,
+        cache: &mut CacheBackend<'_>,
         core: usize,
         agent: AgentId,
         mask: WayMask,
@@ -126,7 +133,7 @@ impl OvsSwitch {
         let key = flow as u64;
         let slot = self.emc.slot_of_key(key) as usize;
         let mut cost = EMC_HIT_CYCLES
-            + h.core_access_cycles(core, agent, mask, self.emc.entry_line(key, 0), CoreOp::Read)
+            + cache.access_cycles(core, agent, mask, self.emc.entry_line(key, 0), CoreOp::Read)
                 as u64;
         let mut instr = PKT_INSTR;
         if self.emc_tags[slot] == flow {
@@ -141,20 +148,27 @@ impl OvsSwitch {
             instr += MEGAFLOW_INSTR;
             // Wildcard lookup walks the megaflow table, then installs the
             // EMC entry.
-            cost += h
-                .core_access_cycles(core, agent, mask, self.megaflow.entry_line(key, 0), CoreOp::Read)
-                as u64;
-            cost += h
-                .core_access_cycles(
-                    core,
-                    agent,
-                    mask,
-                    self.megaflow.entry_line(key.rotate_left(17), 0),
-                    CoreOp::Read,
-                ) as u64;
-            cost += h
-                .core_access_cycles(core, agent, mask, self.emc.entry_line(key, 0), CoreOp::Write)
-                as u64;
+            cost += cache.access_cycles(
+                core,
+                agent,
+                mask,
+                self.megaflow.entry_line(key, 0),
+                CoreOp::Read,
+            ) as u64;
+            cost += cache.access_cycles(
+                core,
+                agent,
+                mask,
+                self.megaflow.entry_line(key.rotate_left(17), 0),
+                CoreOp::Read,
+            ) as u64;
+            cost += cache.access_cycles(
+                core,
+                agent,
+                mask,
+                self.emc.entry_line(key, 0),
+                CoreOp::Write,
+            ) as u64;
             self.emc_tags[slot] = flow;
         }
         (cost, instr)
@@ -163,7 +177,7 @@ impl OvsSwitch {
 
 /// Copies `lines` payload lines from `src` to `dst`, returning cycles.
 fn copy_lines(
-    h: &mut MemoryHierarchy,
+    cache: &mut CacheBackend<'_>,
     core: usize,
     agent: AgentId,
     mask: WayMask,
@@ -173,8 +187,8 @@ fn copy_lines(
 ) -> u64 {
     let mut cost = 0u64;
     for l in 0..lines {
-        cost += h.core_access_cycles(core, agent, mask, src + l * LINE_BYTES, CoreOp::Read) as u64;
-        cost += h.core_access_cycles(core, agent, mask, dst + l * LINE_BYTES, CoreOp::Write) as u64;
+        cost += cache.access_cycles(core, agent, mask, src + l * LINE_BYTES, CoreOp::Read) as u64;
+        cost += cache.access_cycles(core, agent, mask, dst + l * LINE_BYTES, CoreOp::Write) as u64;
     }
     cost
 }
@@ -192,6 +206,10 @@ impl Workload for OvsSwitch {
         WorkloadKind::Network
     }
 
+    fn channel_ids(&self) -> Vec<ChannelId> {
+        self.attachments.iter().flat_map(|a| [a.to_tenant, a.from_tenant]).collect()
+    }
+
     fn run(&mut self, ctx: &mut ExecCtx<'_>) -> ExecResult {
         let core = ctx.core;
         let agent = ctx.agent;
@@ -202,7 +220,7 @@ impl Workload for OvsSwitch {
 
         while used < ctx.cycle_budget {
             let mut progress = false;
-            let h = &mut *ctx.hierarchy;
+            let cache = &mut ctx.cache;
             let channels = &mut *ctx.channels;
 
             // Inbound: port -> tenant channel.
@@ -210,20 +228,26 @@ impl Workload for OvsSwitch {
                 if used >= ctx.cycle_budget {
                     break;
                 }
-                let Some((idx, slot)) = self.ports[p].rx.pop() else { continue };
+                let Some((idx, slot)) = self.ports[p].rx.pop() else {
+                    continue;
+                };
                 progress = true;
-                let mut cost =
-                    h.core_access_cycles(core, agent, mask, self.ports[p].rx.desc_addr(idx), CoreOp::Read)
-                        as u64;
-                let (lk_cost, lk_instr) = self.lookup(h, core, agent, mask, slot.flow.0, accrue);
+                let mut cost = cache.access_cycles(
+                    core,
+                    agent,
+                    mask,
+                    self.ports[p].rx.desc_addr(idx),
+                    CoreOp::Read,
+                ) as u64;
+                let (lk_cost, lk_instr) =
+                    self.lookup(cache, core, agent, mask, slot.flow.0, accrue);
                 cost += lk_cost;
                 let att = self.attachments[p % self.attachments.len()];
                 let chan = &mut channels.get_mut(att.to_tenant).ring;
                 if let Some(cidx) = chan.push(PacketSlot::new(slot.flow, slot.size)) {
                     let dst = chan.buf_addr(cidx);
                     let src = self.ports[p].rx.buf_addr(idx);
-                    cost +=
-                        copy_lines(h, core, agent, mask, src, dst, slot.payload_lines());
+                    cost += copy_lines(cache, core, agent, mask, src, dst, slot.payload_lines());
                     if accrue {
                         self.forwarded += 1;
                     }
@@ -243,19 +267,26 @@ impl Workload for OvsSwitch {
                     break;
                 }
                 let chan = &mut channels.get_mut(att.from_tenant).ring;
-                let Some((cidx, slot)) = chan.pop() else { continue };
+                let Some((cidx, slot)) = chan.pop() else {
+                    continue;
+                };
                 progress = true;
                 let src = slot.ext_buf.unwrap_or_else(|| chan.buf_addr(cidx));
-                let (lk_cost, lk_instr) = self.lookup(h, core, agent, mask, slot.flow.0, accrue);
+                let (lk_cost, lk_instr) =
+                    self.lookup(cache, core, agent, mask, slot.flow.0, accrue);
                 let mut cost = lk_cost;
                 let port_idx = i % self.ports.len();
                 let port = &mut self.ports[port_idx];
                 if let Some(tidx) = port.tx.push(PacketSlot::new(slot.flow, slot.size)) {
                     let dst = port.tx.buf_addr(tidx);
-                    cost += copy_lines(h, core, agent, mask, src, dst, slot.payload_lines());
-                    cost += h
-                        .core_access_cycles(core, agent, mask, port.tx.desc_addr(tidx), CoreOp::Write)
-                        as u64;
+                    cost += copy_lines(cache, core, agent, mask, src, dst, slot.payload_lines());
+                    cost += cache.access_cycles(
+                        core,
+                        agent,
+                        mask,
+                        port.tx.desc_addr(tidx),
+                        CoreOp::Write,
+                    ) as u64;
                     if accrue {
                         self.forwarded += 1;
                     }
@@ -276,12 +307,18 @@ impl Workload for OvsSwitch {
                 break;
             }
         }
-        ExecResult { instructions, cycles_used: used.min(ctx.cycle_budget) }
+        ExecResult {
+            instructions,
+            cycles_used: used.min(ctx.cycle_budget),
+        }
     }
 
     fn metrics(&self) -> WorkloadMetrics {
-        let port_drops: u64 =
-            self.ports.iter().map(|p| p.rx.drops() + p.tx.drops()).sum::<u64>();
+        let port_drops: u64 = self
+            .ports
+            .iter()
+            .map(|p| p.rx.drops() + p.tx.drops())
+            .sum::<u64>();
         WorkloadMetrics {
             ops: self.forwarded,
             avg_op_cycles: self.latency.mean(),
@@ -310,6 +347,7 @@ impl Workload for OvsSwitch {
 mod tests {
     use super::*;
     use crate::ctx::Channels;
+    use iat_cachesim::MemoryHierarchy;
     use iat_netsim::{FlowId, Nic, RxRing, VfId};
 
     fn setup(flows: u32) -> (MemoryHierarchy, OvsSwitch, Channels, ChannelId, ChannelId) {
@@ -321,10 +359,16 @@ mod tests {
         let from_t = channels.add(RxRing::new(0x9000_0000, 128, 2048));
         let ovs = OvsSwitch::new(
             vec![port],
-            vec![Attachment { to_tenant: to_t, from_tenant: from_t }],
+            vec![Attachment {
+                to_tenant: to_t,
+                from_tenant: from_t,
+            }],
             0xA000_0000,
             0xB000_0000,
-            OvsConfig { emc_entries: 64, megaflow_entries: 1024 },
+            OvsConfig {
+                emc_entries: 64,
+                megaflow_entries: 1024,
+            },
         );
         let _ = flows;
         (h, ovs, channels, to_t, from_t)
@@ -334,13 +378,18 @@ mod tests {
         let ddio = WayMask::contiguous(2, 2).unwrap();
         let port = &mut ovs.ports_mut()[0];
         for i in 0..n {
-            port.dma.rx_one(h, ddio, &mut port.rx, PacketSlot::new(FlowId(i % flows), 64));
+            port.dma.rx_one(
+                h,
+                ddio,
+                &mut port.rx,
+                PacketSlot::new(FlowId(i % flows), 64),
+            );
         }
     }
 
     fn run(h: &mut MemoryHierarchy, ovs: &mut OvsSwitch, ch: &mut Channels, budget: u64) {
         let mut ctx = ExecCtx {
-            hierarchy: h,
+            cache: h.into(),
             channels: ch,
             core: 0,
             agent: AgentId::new(0),
@@ -386,7 +435,10 @@ mod tests {
     #[test]
     fn outbound_path_reaches_port_tx() {
         let (mut h, mut ovs, mut ch, _, from_t) = setup(1);
-        ch.get_mut(from_t).ring.push(PacketSlot::new(FlowId(5), 64)).unwrap();
+        ch.get_mut(from_t)
+            .ring
+            .push(PacketSlot::new(FlowId(5), 64))
+            .unwrap();
         run(&mut h, &mut ovs, &mut ch, 1_000_000);
         assert_eq!(ovs.ports_mut()[0].tx.len(), 1);
     }
@@ -395,7 +447,12 @@ mod tests {
     fn full_tenant_channel_drops() {
         let (mut h, mut ovs, mut ch, to_t, _) = setup(1);
         // Fill the tenant channel so inbound forwards must drop.
-        while ch.get_mut(to_t).ring.push(PacketSlot::new(FlowId(0), 64)).is_some() {}
+        while ch
+            .get_mut(to_t)
+            .ring
+            .push(PacketSlot::new(FlowId(0), 64))
+            .is_some()
+        {}
         ch.get_mut(to_t).ring.reset_drops();
         deliver(&mut h, &mut ovs, 3, 1);
         run(&mut h, &mut ovs, &mut ch, 1_000_000);
